@@ -1,0 +1,66 @@
+"""Ablation 6: replacement policy, bounded by Belady's MIN.
+
+The paper standardizes on LRU.  This ablation compares LRU, FIFO, random
+and the offline-optimal MIN on the same workloads, quantifying (a) how
+much the policy choice matters relative to workload choice and (b) how
+close LRU sits to the unrealizable optimum.
+"""
+
+import numpy as np
+
+from common import bench_length, run_once, save_result
+
+from repro.analysis import render_series
+from repro.core import (
+    CacheGeometry,
+    UnifiedCache,
+    belady_miss_ratio,
+    policy_factory,
+    simulate,
+)
+from repro.workloads import catalog
+
+SIZES = (1024, 4096, 16384)
+TRACE = "VCCOM"
+
+
+def test_ablation_replacement(benchmark):
+    def experiment():
+        trace = catalog.generate(TRACE, bench_length())
+        rows = {}
+        for policy in ("lru", "fifo", "random"):
+            values = []
+            for size in SIZES:
+                organization = UnifiedCache(
+                    CacheGeometry(size, 16), replacement=policy_factory(policy, seed=1)
+                )
+                values.append(simulate(trace, organization).miss_ratio)
+            rows[policy] = values
+        rows["MIN (offline)"] = [
+            belady_miss_ratio(trace, size) for size in SIZES
+        ]
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    text = render_series(
+        "policy \\ bytes", list(SIZES), rows,
+        title=f"Ablation: replacement policy ({TRACE}, fully assoc, 16B lines)",
+    )
+    save_result("ablation_replacement", text)
+    print()
+    print(text)
+
+    lru = np.array(rows["lru"])
+    fifo = np.array(rows["fifo"])
+    optimal = np.array(rows["MIN (offline)"])
+
+    # MIN lower-bounds everything.
+    for name in ("lru", "fifo", "random"):
+        assert (np.array(rows[name]) >= optimal - 1e-12).all(), name
+
+    # LRU beats (or ties) FIFO on these workloads, and stays within ~2x of
+    # the unrealizable optimum — policy choice matters far less than the
+    # workload-to-workload spread in Table 1.
+    assert (lru <= fifo + 0.01).all()
+    assert (lru <= 2.5 * np.maximum(optimal, 1e-4) + 0.01).all()

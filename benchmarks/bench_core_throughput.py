@@ -1,0 +1,47 @@
+"""Throughput benchmarks for the simulator core itself.
+
+These are conventional pytest-benchmark microbenchmarks (multiple rounds)
+measuring the three hot paths: the per-access cache engine, the one-pass
+stack-distance sweep, and trace generation.
+"""
+
+import pytest
+
+from repro.core import CacheGeometry, UnifiedCache, lru_miss_ratio_curve, simulate
+from repro.workloads import catalog
+from repro.workloads.generator import SyntheticWorkload
+
+REFS = 30_000
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return catalog.generate("VCCOM", REFS)
+
+
+def test_simulator_throughput(benchmark, trace):
+    def run():
+        return simulate(trace, UnifiedCache(CacheGeometry(16384, 16)))
+
+    report = benchmark(run)
+    assert report.references == REFS
+
+
+def test_stack_distance_throughput(benchmark, trace):
+    sizes = [32 * 2**i for i in range(12)]
+
+    def run():
+        return lru_miss_ratio_curve(trace, sizes)
+
+    curve = benchmark(run)
+    assert len(curve) == 12
+
+
+def test_generator_throughput(benchmark):
+    workload = SyntheticWorkload(catalog.get("VCCOM"))
+
+    def run():
+        return workload.generate(REFS)
+
+    generated = benchmark(run)
+    assert len(generated) == REFS

@@ -1,0 +1,45 @@
+"""Extension: the associativity study.
+
+Quantifies two of the paper's assertions: full associativity is an
+idealization real machines approach ("in a real machine, performance would
+be lower"), and the VAX 11/780's 2-way design costs little ("the effect of
+the latter on the miss ratio should be small", Section 4.1).
+"""
+
+from common import bench_length, run_once, save_result
+
+from repro.analysis import associativity_study
+
+CAPACITIES = (1024, 8192)
+
+
+def test_ext_associativity_study(benchmark):
+    study = run_once(
+        benchmark,
+        lambda: associativity_study(capacities=CAPACITIES, length=bench_length()),
+    )
+
+    text = "\n\n".join(study.render(capacity) for capacity in CAPACITIES)
+    save_result("ext_associativity_study", text)
+    print()
+    print(text)
+
+    for capacity in CAPACITIES:
+        # Conflict misses are non-negative and shrink with associativity.
+        for name in study.miss:
+            direct = study.conflict_miss_ratio(name, 1, capacity)
+            two_way = study.conflict_miss_ratio(name, 2, capacity)
+            assert direct >= two_way - 1e-9 >= -1e-9
+
+        # The paper's 2-way claim: small penalty on average.
+        assert study.mean_penalty(2, capacity) < 1.5
+        # Direct mapping is the one that visibly hurts.
+        assert study.mean_penalty(1, capacity) > study.mean_penalty(2, capacity)
+
+    lines = ["mean miss-ratio penalty vs fully associative:"]
+    for capacity in CAPACITIES:
+        for ways in (1, 2, 4, 8):
+            lines.append(f"  {capacity:>6}B {ways}-way: "
+                         f"{study.mean_penalty(ways, capacity):.3f}x")
+    save_result("ext_associativity_penalties", "\n".join(lines))
+    print("\n".join(lines))

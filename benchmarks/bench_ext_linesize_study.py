@@ -1,0 +1,56 @@
+"""Extension: the full line-size study (the paper's Section 5 future work).
+
+"The effect of line size on miss ratio needs to be quantified beyond the
+general statements made here" — this bench runs the
+:mod:`repro.analysis.linesize` study across the program classes and checks
+the classic results that Smith's follow-up line-size work established:
+
+* the miss-optimal line size grows with cache capacity;
+* the *traffic*-optimal line size is smaller than the miss-optimal one;
+* 8B -> 16B roughly halves the miss ratio at 8K (Section 4.1's rule).
+"""
+
+import numpy as np
+
+from common import bench_length, run_once, save_result
+
+from repro.analysis import line_size_study
+
+CAPACITIES = (1024, 8192, 65536)
+LINES = (4, 8, 16, 32, 64, 128)
+
+
+def test_ext_linesize_study(benchmark):
+    study = run_once(
+        benchmark,
+        lambda: line_size_study(line_sizes=LINES, capacities=CAPACITIES,
+                                length=bench_length()),
+    )
+
+    blocks = [study.render(capacity) for capacity in CAPACITIES]
+    text = "\n\n".join(blocks)
+    save_result("ext_linesize_study", text)
+    print()
+    print(text)
+
+    workloads = list(study.miss)
+
+    # Miss-optimal line size grows (weakly) with capacity for most
+    # workloads: more capacity tolerates the pollution of bigger lines.
+    growth_counts = 0
+    for name in workloads:
+        small_cap = study.miss_optimal_line(name, CAPACITIES[0])
+        large_cap = study.miss_optimal_line(name, CAPACITIES[-1])
+        if large_cap >= small_cap:
+            growth_counts += 1
+    assert growth_counts >= len(workloads) - 1
+
+    # Traffic optimum <= miss optimum, everywhere.
+    for name in workloads:
+        for capacity in CAPACITIES:
+            assert study.traffic_optimal_line(name, capacity) <= \
+                study.miss_optimal_line(name, capacity)
+
+    # The 8B->16B rule at 8K, averaged over the classes.
+    gains = study.doubling_gain(8, 16, 8192)
+    assert 0.35 < float(np.mean(list(gains.values()))) < 0.8

@@ -1,0 +1,58 @@
+"""Extension: the [Hil84] traffic-ratio warning.
+
+The paper's conclusion: "caches always work ... The traffic ratio, however,
+may not be lower than 1.0 [Hil84] and that parameter needs to be carefully
+watched."  (Traffic ratio = memory traffic with the cache over traffic
+without one.)  This extension computes the ratio across cache sizes and
+line sizes and exhibits both regimes: big-line small caches that *amplify*
+bus traffic, and configurations that cut it.
+"""
+
+import numpy as np
+
+from common import bench_length, run_once, save_result
+
+from repro.analysis import render_series
+from repro.core import CacheGeometry, UnifiedCache, simulate, traffic_ratio
+from repro.workloads import catalog
+
+LINE_SIZES = (16, 32, 64)
+CAPACITIES = (256, 1024, 4096, 16384)
+TRACE = "CGO1"
+
+
+def test_ext_traffic_ratio(benchmark):
+    def experiment():
+        trace = catalog.generate(TRACE, bench_length())
+        reference_bytes = int(trace.sizes.sum())
+        rows = {}
+        for line in LINE_SIZES:
+            values = []
+            for capacity in CAPACITIES:
+                organization = UnifiedCache(CacheGeometry(capacity, line))
+                report = simulate(trace, organization)
+                values.append(traffic_ratio(report.overall, reference_bytes))
+            rows[f"{line}B lines"] = values
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    text = render_series(
+        "line \\ capacity", list(CAPACITIES), rows,
+        title=f"Extension: traffic ratio (with-cache : without-cache), {TRACE}",
+        digits=3,
+    )
+    save_result("ext_traffic_ratio", text)
+    print()
+    print(text)
+
+    matrix = {line: np.array(rows[f"{line}B lines"]) for line in LINE_SIZES}
+
+    # [Hil84]'s regime: a small cache with large lines moves MORE bytes
+    # than no cache at all.
+    assert matrix[64][0] > 1.0
+    # The benign regime: a big cache cuts traffic well below 1.
+    assert matrix[16][-1] < 0.6
+    # Bigger lines always cost more traffic at equal capacity here.
+    for i in range(len(CAPACITIES)):
+        assert matrix[16][i] <= matrix[32][i] <= matrix[64][i]

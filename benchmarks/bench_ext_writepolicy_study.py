@@ -1,0 +1,37 @@
+"""Extension: the write-policy study (Section 3.3's trade-off, measured).
+
+Copy-back vs write-through vs write-through-with-combining on one cache
+configuration across program classes.  The assertions encode the section's
+reasoning: stores revisit lines (store locality >> 1), so copy-back turns
+many stores into few write-backs; plain write-through pays per store;
+combining recovers part of the gap.
+"""
+
+from common import bench_length, run_once, save_result
+
+from repro.analysis import write_policy_study
+
+
+def test_ext_writepolicy_study(benchmark):
+    study = run_once(benchmark, lambda: write_policy_study(length=bench_length()))
+
+    text = study.render()
+    lines = [text, "", "stores per written line (store locality):"]
+    for workload, value in study.writes_per_written_line.items():
+        lines.append(f"  {workload:8s} {value:7.1f}")
+    output = "\n".join(lines)
+    save_result("ext_writepolicy_study", output)
+    print()
+    print(output)
+
+    for workload in study.traffic_bytes:
+        # Store locality makes copy-back's write side cheap.
+        assert study.writes_per_written_line[workload] > 3.0
+        transactions = study.write_transactions[workload]
+        assert transactions["copy-back"] < transactions["write-through"]
+        assert (transactions["write-through+combine"]
+                <= transactions["write-through"])
+
+    # Write-through moves more bytes than copy-back for the write-heavy
+    # business workload (CGO1), the case Section 3.3 is about.
+    assert study.traffic_ratio("CGO1", "write-through") > 1.1

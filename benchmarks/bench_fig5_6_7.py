@@ -1,0 +1,77 @@
+"""Figures 5, 6, 7: prefetch-to-demand miss-ratio ratios.
+
+Configuration (Section 3.5): unified and split caches, demand vs prefetch
+always, purge every 20 000 references (15 000 for the M68000 traces).
+
+Shape assertions:
+* Figure 6 — instruction prefetching always cuts the miss ratio, and for
+  caches over 2K by more than 50%;
+* Figure 7 — data prefetching helps large caches (>= 8K the average cut is
+  on the order of 50%) but can increase the miss ratio for small ones;
+* Figure 5 — prefetching is increasingly useful with increasing size.
+"""
+
+import numpy as np
+
+from common import run_once, save_result, shared_prefetch_study
+
+
+def test_fig5_6_7(benchmark):
+    study = run_once(benchmark, shared_prefetch_study)
+
+    blocks = []
+    for figure in (5, 6, 7):
+        from repro.analysis import render_series
+
+        captions = {
+            5: "Figure 5: unified miss-ratio ratio (prefetch/demand)",
+            6: "Figure 6: instruction miss-ratio ratio",
+            7: "Figure 7: data miss-ratio ratio",
+        }
+        blocks.append(
+            render_series("workload \\ bytes", list(study.sizes),
+                          study.figure_series(figure), title=captions[figure])
+        )
+    text = "\n\n".join(blocks)
+    save_result("fig5_6_7", text)
+    print()
+    print(text)
+
+    sizes = np.array(study.sizes)
+    over_2k = sizes > 2048
+    at_least_8k = sizes >= 8192
+
+    monitor_style = {"PLO", "MATCH", "SORT", "STAT"}
+    at_least_1k = sizes >= 1024
+    for result in study.workloads.values():
+        instruction = result.instruction.miss_ratio_ratios()
+        demand = np.array(result.instruction.miss_demand)
+        visible = over_2k & (demand > 0.002)
+        if result.label in monitor_style:
+            # The M68000 hardware monitor folds data reads into the
+            # "instruction" stream, diluting sequentiality; prefetch still
+            # clearly wins for the larger caches.
+            assert (instruction[visible] < 0.75).all(), result.label
+            continue
+        # Figure 6 (classified traces): "the prefetch miss ratio is almost
+        # always below the demand fetch miss ratio once the cache is above
+        # 256 bytes", and the cut exceeds 50% beyond 2K wherever the
+        # demand miss ratio is still visible.
+        assert (instruction[at_least_1k] < 1.0 + 1e-9).all(), result.label
+        assert (instruction[visible] < 0.5).all(), result.label
+
+    # Figure 7: the average large-cache data cut is substantial...
+    data_large = np.mean(
+        [r.data.miss_ratio_ratios()[at_least_8k].mean()
+         for r in study.workloads.values()]
+    )
+    assert data_large < 0.75
+    # ...while at the smallest sizes some workloads get *worse*.
+    data_small = [r.data.miss_ratio_ratios()[0] for r in study.workloads.values()]
+    assert any(value > 1.0 for value in data_small)
+
+    # Figure 5: increasingly useful with size — the average unified ratio
+    # at the large end beats the small end.
+    unified = np.mean([r.unified.miss_ratio_ratios() for r in study.workloads.values()],
+                      axis=0)
+    assert unified[at_least_8k].mean() < unified[~at_least_8k].mean()

@@ -1,0 +1,47 @@
+"""Section 4.3: cross-architecture fudge factors.
+
+Regenerates the M1->M2 translation matrix for the reference-mix and
+branch-frequency statistics and checks the paper's directional claims:
+instruction:data ratio runs from ~1:1 (complex 32-bit) to ~3:1 (simple),
+branch frequency moves with architecture complexity.
+"""
+
+from common import bench_length, run_once, save_result
+
+from repro.analysis import ArchitectureEstimator, fudge_factor, fudge_table
+
+
+def test_fudge_factors(benchmark):
+    def experiment():
+        table = fudge_table(length=bench_length())
+        estimator = ArchitectureEstimator(length=bench_length())
+        return table, estimator
+
+    table, estimator = run_once(benchmark, experiment)
+
+    save_result("fudge_factors", table)
+    print()
+    print(table)
+
+    # VAX -> CDC: instruction share rises ~1.5x, branches drop hard.
+    mix = fudge_factor("instruction_fraction", "VAX 11/780", "CDC 6400",
+                       length=bench_length())
+    branch = fudge_factor("branch_fraction", "VAX 11/780", "CDC 6400",
+                          length=bench_length())
+    assert 1.3 < mix < 1.8
+    assert branch < 0.5
+
+    # The complexity interpolation reproduces the 1:1 .. 3:1 band.
+    complex_ratio = estimator.estimate(1.0).instruction_to_data_ratio
+    simple_ratio = estimator.estimate(0.0).instruction_to_data_ratio
+    assert complex_ratio < 1.6
+    assert simple_ratio > 2.2
+
+    lines = [
+        "instruction:data ratio by complexity (paper: ~1:1 complex to ~3:1 simple)",
+        f"  complexity 1.0 -> {complex_ratio:.2f}",
+        f"  complexity 0.5 -> {estimator.estimate(0.5).instruction_to_data_ratio:.2f}",
+        f"  complexity 0.0 -> {simple_ratio:.2f}",
+    ]
+    save_result("fudge_interpolation", "\n".join(lines))
+    print("\n".join(lines))

@@ -1,0 +1,52 @@
+"""Table 1 / Figure 1: unified miss ratios for the whole trace collection.
+
+Paper configuration: fully associative, LRU, demand fetch, 16-byte lines,
+copy back with fetch on write, no task-switch purges; 57 trace rows swept
+over twelve cache sizes.
+
+Shape assertions (Section 3.1):
+* the M68000 toys are the best group, the Z8000 utilities next;
+* the 370/360 programs average far worse than the VAX utilities;
+* the MVS traces are the worst rows of all;
+* the LISP average sits between the VAX utilities and the 370 batch jobs.
+"""
+
+import numpy as np
+
+from common import bench_length, run_once, save_result, shared_table1
+
+
+def test_table1_fig1(benchmark):
+    result = run_once(benchmark, shared_table1)
+
+    text = result.render()
+    save_result("table1_fig1", text)
+    print()
+    print(text)
+
+    index_1k = result.sizes.index(1024)
+    averages = result.group_averages()
+    at_1k = {group: curve[index_1k] for group, curve in averages.items()}
+    combined_370 = result.combined_370_360_average()[index_1k]
+
+    assert at_1k["Motorola 68000"] < at_1k["Zilog Z8000"] < at_1k["VAX (non-Lisp)"]
+    assert at_1k["VAX (non-Lisp)"] < at_1k["VAX (Lisp)"] < combined_370 * 2
+    assert combined_370 > 2 * at_1k["VAX (non-Lisp)"]
+
+    worst_traces = sorted(
+        result.curves, key=lambda name: result.curves[name].at(1024)
+    )[-2:]
+    assert set(worst_traces) == {"MVS1", "MVS2"}
+
+    # Every curve is non-increasing (LRU inclusion).
+    for curve in result.curves.values():
+        assert (np.diff(curve.as_array()) <= 1e-9).all()
+
+    # Paper-vs-measured summary for EXPERIMENTS.md.
+    comparison = result.comparison_with_paper()
+    lines = ["group average @1K: paper vs measured"]
+    for group, (paper, ours) in comparison.items():
+        lines.append(f"  {group:18s} {paper:.3f}  {ours:.3f}")
+    lines.append(f"  trace length: {bench_length() or 'paper (250k/100k)'}")
+    save_result("table1_comparison", "\n".join(lines))
+    print("\n".join(lines))

@@ -1,0 +1,35 @@
+"""Table 3: fraction of pushed data lines that are dirty.
+
+Shape assertions (Section 3.3): the all-rows average is "close enough to
+0.5 to say that as a rule of thumb, half of the data lines pushed will be
+dirty", the spread is wide (paper: sigma 0.18, range 0.22-0.80), and the
+per-row values track the paper's published column.
+"""
+
+import numpy as np
+
+from common import bench_length, run_once, save_result
+
+from repro.analysis import PAPER_TABLE3, table3_experiment
+
+
+def test_table3(benchmark):
+    result = run_once(benchmark, lambda: table3_experiment(length=bench_length()))
+
+    text = result.render()
+    save_result("table3", text)
+    print()
+    print(text)
+
+    assert 0.35 < result.average < 0.60  # the rule-of-thumb ~0.5
+    assert result.stdev > 0.10  # wide per-program spread
+
+    ours = np.array([row.fraction_dirty for row in result.rows])
+    paper = np.array([PAPER_TABLE3[row.label] for row in result.rows])
+    correlation = np.corrcoef(ours, paper)[0, 1]
+    assert correlation > 0.7
+
+    # The paper's headline range: some programs push mostly-clean lines,
+    # some mostly-dirty ones.
+    assert ours.min() < 0.35
+    assert ours.max() > 0.65

@@ -1,0 +1,51 @@
+"""Table 4 and Figures 8, 9, 10: prefetch memory-traffic ratios.
+
+Table 4 aggregates "by summing the prefetch traffic for all of the traces
+and dividing it by the demand fetch traffic"; Figures 8-10 plot the
+per-workload factors for the unified, instruction and data caches.
+
+Shape assertions (Section 3.5.2): traffic always goes *up* under prefetch
+(ratio >= 1), the penalty shrinks with cache size (paper: unified 2.87 at
+32 bytes falling to ~1.2 at 64K), and at the large end the penalty is
+modest (< 1.6).
+"""
+
+import numpy as np
+
+from common import run_once, save_result, shared_prefetch_study
+
+
+def test_table4_fig8_9_10(benchmark):
+    study = run_once(benchmark, shared_prefetch_study)
+
+    text = study.render_table4()
+    figures = study.render_figures()
+    save_result("table4", text)
+    save_result("fig8_9_10", figures)
+    print()
+    print(text)
+
+    table = study.table4()
+    sizes = list(study.sizes)
+    unified = np.array([table[size][0] for size in sizes])
+    data = np.array([table[size][2] for size in sizes])
+
+    # Prefetch never reduces traffic.
+    for size in sizes:
+        assert all(value >= 0.999 for value in table[size])
+
+    # The penalty falls with cache size, from ~2-3x at the bottom of the
+    # range to < 1.6x at 64K (paper: 2.87 -> 1.21 for the unified cache).
+    assert unified[0] > 1.8
+    assert unified[-1] < 1.6
+    assert unified[0] > unified[-1]
+    assert data[0] > data[-1]
+
+    # Broad-strokes agreement with the paper's surviving unified column.
+    from repro.analysis import PAPER_TABLE4
+
+    for size in (1024, 4096, 16384, 65536):
+        if size in table and size in PAPER_TABLE4:
+            ours = table[size][0]
+            paper = PAPER_TABLE4[size][0]
+            assert 0.5 * paper < ours < 2.0 * paper

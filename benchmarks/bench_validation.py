@@ -1,0 +1,66 @@
+"""Section 4.1 validations: [Clar83]'s VAX measurements and [Alpe83]'s
+Z80000 projections.
+
+* Clark measured a 10.3% overall read miss ratio on the 8K/8-byte-line
+  VAX 11/780; the paper's 8K target (16-byte lines), doubled to adjust the
+  line size, "is not out of line".
+* [Alpe83] projected 0.88 hit for the Z80000's 256-byte sector cache with
+  16-byte fetches; the paper predicts ~0.70 for a real 32-bit workload.
+  The benchmark reproduces the gap: the projection roughly holds on the
+  Z8000-style toys and fails on the design workload.
+"""
+
+from common import bench_length, run_once, save_result
+
+from repro.analysis import (
+    ALPERT83_Z80000,
+    clark_comparison,
+    design_target_estimate,
+    z80000_comparison,
+)
+
+
+def test_validation(benchmark):
+    def experiment():
+        targets = design_target_estimate(length=bench_length())
+        clark = clark_comparison(targets)
+        z80000 = z80000_comparison(length=bench_length())
+        return clark, z80000
+
+    clark, z80000 = run_once(benchmark, experiment)
+
+    lines = ["[Clar83] comparison (miss ratios):"]
+    for key, value in clark.items():
+        lines.append(f"  {key:32s} {value:.4f}")
+    lines.append("")
+    lines.append("[Alpe83] Z80000 256B sector cache (hit ratios):")
+    for subblock, row in z80000.items():
+        lines.append(
+            f"  {subblock:2d}B sub-blocks: projected={row['alpert_hit']:.3f} "
+            f"z8000-workload={row['z8000_hit']:.3f} "
+            f"32-bit-workload={row['design_hit']:.3f}"
+        )
+    text = "\n".join(lines)
+    save_result("validation", text)
+    print()
+    print(text)
+
+    # Clark: the adjusted estimate is "not out of line" — same ballpark
+    # (within ~2.5x either way) as the measured 10.3%.
+    ratio = clark["ours_8k_adjusted_to_8B_lines"] / clark["clark_8k_overall_read"]
+    assert 0.4 < ratio < 2.5
+
+    # Z80000: hit ratio grows with sub-block size on every workload set.
+    for key in ("z8000_hit", "design_hit"):
+        values = [z80000[s][key] for s in sorted(z80000)]
+        assert values == sorted(values)
+
+    # The paper's punchline: on a 32-bit workload, the 16-byte-fetch hit
+    # ratio falls well short of the projected 0.88 — closer to the
+    # paper's ~0.70 prediction.
+    row16 = z80000[16]
+    assert row16["design_hit"] < 0.82
+    assert row16["design_hit"] < row16["z8000_hit"]
+
+    projected = ALPERT83_Z80000["projected_hit_ratios"][16]
+    assert projected - row16["design_hit"] > 0.06

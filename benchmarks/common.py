@@ -1,0 +1,60 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures, prints
+the same rows/series the paper reports, and saves the rendered text under
+``benchmarks/results/``.
+
+Scale control
+-------------
+The paper's runs use 250 000 references per trace; that is expensive for a
+routine benchmark pass, so by default each trace is truncated to
+``REPRO_BENCH_LENGTH`` references (default 60 000).  Set
+``REPRO_BENCH_FULL=1`` to run at the paper's full lengths (this is what the
+numbers in EXPERIMENTS.md were produced with).
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from pathlib import Path
+
+DEFAULT_BENCH_LENGTH = 60_000
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def bench_length() -> int | None:
+    """References per trace for this benchmark run (None = paper lengths)."""
+    if os.environ.get("REPRO_BENCH_FULL") == "1":
+        return None
+    return int(os.environ.get("REPRO_BENCH_LENGTH", str(DEFAULT_BENCH_LENGTH)))
+
+
+def save_result(name: str, text: str) -> Path:
+    """Write a rendered table/figure under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def run_once(benchmark, function):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, rounds=1, iterations=1)
+
+
+@functools.lru_cache(maxsize=1)
+def shared_prefetch_study():
+    """The Section 3.5 study, shared by the Figure 5-10 / Table 4 benches."""
+    from repro.analysis import prefetch_study
+
+    return prefetch_study(length=bench_length())
+
+
+@functools.lru_cache(maxsize=1)
+def shared_table1():
+    """The Table 1 sweep, shared by Table 1/5 benches."""
+    from repro.analysis import table1_experiment
+
+    return table1_experiment(length=bench_length())

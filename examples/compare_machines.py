@@ -1,0 +1,48 @@
+"""One workload, every real machine the paper discusses.
+
+Run with::
+
+    python examples/compare_machines.py
+
+Uses ``repro.machines`` — buildable models of the concrete caches from the
+paper's Sections 1.2 / 3.4 (VAX 11/780, IBM 370/168, Fujitsu M380, Synapse
+N+1, the 68020's on-chip I-cache, the Z80000's sector cache) — to show how
+one 1985 workload would have fared across the era's memory hierarchies.
+"""
+
+from repro.core import simulate
+from repro.machines import ALL_MACHINES, MC68020_ICACHE
+from repro.trace import instruction_stream
+from repro.workloads import catalog
+
+LENGTH = 120_000
+WORKLOAD = "VCCOM"
+
+
+def main() -> None:
+    trace = catalog.generate(WORKLOAD, LENGTH)
+    print(f"workload: {WORKLOAD} ({LENGTH} references), purge every 20k\n")
+    print(f"{'machine':30s} {'config':34s} {'miss':>7s} {'traffic B/ref':>13s}")
+    for machine in ALL_MACHINES.values():
+        if machine is MC68020_ICACHE:
+            # The 68020's on-chip cache holds instructions only.
+            driven = instruction_stream(trace)
+        else:
+            driven = trace
+        report = simulate(driven, machine.build(), purge_interval=20_000)
+        config = (f"{machine.capacity}B/{machine.line_size}B lines"
+                  + (f", {machine.associativity}-way" if machine.associativity
+                     else ", fully assoc")
+                  + (", sector" if machine.sector_size else ""))
+        traffic = report.overall.memory_traffic_bytes / max(report.references, 1)
+        print(f"{machine.name:30s} {config:34s} {report.miss_ratio:7.4f} "
+              f"{traffic:13.2f}")
+
+    print("\nNotes: the on-chip microprocessor caches (68020, Z80000) trade")
+    print("high miss ratios for tiny silicon; the mainframes buy sub-5%")
+    print("misses with 16-64K arrays — the design space the paper's Table 5")
+    print("was written to navigate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Cost/performance design-space exploration.
+
+Run with::
+
+    python examples/design_space.py
+
+The paper's introduction frames cache sizing as economics: "a cache which
+achieves a 99% hit ratio may cost 80% more than one which achieves 98% ...
+and may only boost overall CPU performance by 8%".  This example wires the
+design-target miss ratios (Table 5's procedure) into the
+:class:`repro.core.PerformanceModel` and asks, for a simple cost model,
+where the knee of the cost/performance curve falls — and how the answer
+changes if the designer optimistically evaluates on toy workloads instead.
+"""
+
+from repro.core import MemoryTiming, PerformanceModel, lru_miss_ratio_curve
+from repro.workloads import catalog
+
+SIZES = [512 * 2**i for i in range(8)]  # 512B .. 64K
+LENGTH = 80_000
+
+#: Toy cost model: dollars proportional to SRAM bytes plus a fixed design
+#: overhead (1985-flavoured arbitrary units).
+def cache_cost(size_bytes: int) -> float:
+    return 50.0 + 0.05 * size_bytes
+
+
+def workload_curve(names):
+    import numpy as np
+
+    rows = [
+        lru_miss_ratio_curve(catalog.generate(name, LENGTH), SIZES)
+        for name in names
+    ]
+    return np.mean(rows, axis=0)
+
+
+def main() -> None:
+    model = PerformanceModel(
+        timing=MemoryTiming(cache_access_cycles=1.0, memory_latency_cycles=12.0,
+                            bus_bytes_per_cycle=2.0),
+        references_per_instruction=2.0,  # the paper's 370/VAX rule of thumb
+        base_cpi=1.0,
+    )
+
+    realistic = ["FGO1", "CGO1", "FCOMP1", "MVS1", "LISP1", "VCCOM"]
+    toys = ["VPUZZLE", "VTOWERS", "PLO", "MATCH"]
+
+    print("design workload = large 32-bit programs + OS;")
+    print("toy workload    = the small benchmarks the paper warns about\n")
+    header = (f"{'size':>7s} {'cost':>8s} | {'miss(real)':>10s} {'MIPS':>6s} "
+              f"{'perf/$':>8s} | {'miss(toy)':>9s} {'MIPS':>6s}")
+    print(header)
+
+    real_curve = workload_curve(realistic)
+    toy_curve = workload_curve(toys)
+    mips_real_by_size = {}
+    mips_toy_by_size = {}
+    for size, real_miss, toy_miss in zip(SIZES, real_curve, toy_curve):
+        cost = cache_cost(size)
+        mips_real = model.mips(float(real_miss), 16, clock_mhz=12.5)
+        mips_toy = model.mips(float(toy_miss), 16, clock_mhz=12.5)
+        mips_real_by_size[size] = mips_real
+        mips_toy_by_size[size] = mips_toy
+        print(f"{size:7d} {cost:8.0f} | {real_miss:10.4f} {mips_real:6.2f} "
+              f"{mips_real / cost:8.4f} | {toy_miss:9.4f} {mips_toy:6.2f}")
+
+    # Sizing rule: smallest cache reaching 90% of its own workload's
+    # attainable (64K) performance.
+    def sized_for(mips_by_size):
+        target = 0.9 * mips_by_size[SIZES[-1]]
+        return next(size for size in SIZES if mips_by_size[size] >= target)
+
+    chosen_real = sized_for(mips_real_by_size)
+    chosen_toy = sized_for(mips_toy_by_size)
+    print(f"\nsmallest cache within 10% of attainable performance:")
+    print(f"  sized against the realistic workload: {chosen_real} bytes")
+    print(f"  sized against the toy workload      : {chosen_toy} bytes")
+    shortfall = mips_real_by_size[chosen_toy] / mips_real_by_size[chosen_real]
+    print(f"\nship the toy-sized cache and the real workload runs at "
+          f"{shortfall:.0%} of the properly sized machine — the paper's "
+          "workload-choice trap in one number.")
+
+
+if __name__ == "__main__":
+    main()

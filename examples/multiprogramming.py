@@ -1,0 +1,69 @@
+"""Multiprogramming, task switching and write-back traffic.
+
+Run with::
+
+    python examples/multiprogramming.py
+
+Reproduces the paper's Table 3 methodology interactively: build a
+round-robin mix of programs, purge the cache at every task switch, and
+look at (a) how the switch quantum moves the miss ratio and (b) the
+write-back economics — how many pushed data lines are dirty, and what that
+means for bus traffic under copy-back vs write-through.
+"""
+
+from repro.core import (
+    COPY_BACK,
+    WRITE_THROUGH,
+    CacheGeometry,
+    SplitCache,
+    simulate,
+)
+from repro.trace import interleave_round_robin
+from repro.workloads import catalog
+
+MEMBERS = ["ZVI", "ZGREP", "ZPR", "ZOD", "ZSORT"]  # the paper's Z8000 mix
+LENGTH = 150_000
+
+
+def main() -> None:
+    traces = [catalog.generate(name, 60_000) for name in MEMBERS]
+
+    print("Task-switch quantum vs miss ratio (16K+16K split, purge on switch):")
+    print(f"{'quantum':>9s} {'overall':>8s} {'instr':>8s} {'data':>8s}")
+    for quantum in (5_000, 10_000, 20_000, 40_000, 80_000):
+        mixed = interleave_round_robin(traces, quantum=quantum, length=LENGTH)
+        organization = SplitCache(CacheGeometry(16 * 1024, 16))
+        report = simulate(mixed, organization, purge_interval=quantum)
+        print(f"{quantum:9d} {report.miss_ratio:8.4f} "
+              f"{report.instruction_miss_ratio:8.4f} {report.data_miss_ratio:8.4f}")
+    print("(the paper standardizes on 20,000 and notes the sensitivity)\n")
+
+    # Write-back economics at the paper's quantum.
+    mixed = interleave_round_robin(traces, quantum=20_000, length=LENGTH)
+
+    copy_back = SplitCache(CacheGeometry(16 * 1024, 16), write_policy=COPY_BACK)
+    report = simulate(mixed, copy_back, purge_interval=20_000)
+    data_stats = report.data
+    print("copy-back data cache:")
+    print(f"  data pushes: {data_stats.data_pushes}, "
+          f"dirty: {data_stats.dirty_data_pushes} "
+          f"({data_stats.dirty_data_push_fraction:.2f} of pushes"
+          " — the paper's rule of thumb is about one half)")
+    print(f"  memory traffic: {data_stats.memory_traffic_bytes} bytes")
+
+    write_through = SplitCache(CacheGeometry(16 * 1024, 16),
+                               write_policy=WRITE_THROUGH)
+    report_wt = simulate(mixed, write_through, purge_interval=20_000)
+    wt_stats = report_wt.data
+    print("write-through data cache (no allocate):")
+    print(f"  write-throughs: {wt_stats.write_throughs} "
+          f"({wt_stats.write_through_bytes} bytes)")
+    print(f"  memory traffic: {wt_stats.memory_traffic_bytes} bytes")
+
+    ratio = wt_stats.memory_traffic_bytes / max(data_stats.memory_traffic_bytes, 1)
+    print(f"\nwrite-through moves {ratio:.2f}x the bytes of copy-back here —")
+    print("Section 3.3's reason copy-back wins when writes revisit lines.")
+
+
+if __name__ == "__main__":
+    main()

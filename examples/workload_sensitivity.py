@@ -1,0 +1,77 @@
+"""The paper's core message: the same cache looks wildly different under
+different workloads.
+
+Run with::
+
+    python examples/workload_sensitivity.py
+
+The Zilog Z80000 story from Section 1.2 in miniature: a designer who
+evaluates a cache on small 16-bit utility traces (the Z8000 group) will
+project hit ratios that a 32-bit batch/OS workload (the 370 group) cannot
+deliver.  The script evaluates one fixed design — and then the Z80000's
+actual 256-byte sector cache — across the whole catalog, grouped the way
+the paper groups its traces.
+"""
+
+import numpy as np
+
+from repro import SectorCache, SectorGeometry
+from repro.core import lru_miss_ratio_curve
+from repro.workloads import catalog
+
+LENGTH = 80_000
+DESIGN = {"capacity": 4096, "line_size": 16}
+
+
+def group_miss_ratios():
+    """Miss ratio of the fixed design per catalog group."""
+    results = {}
+    for group, members in sorted(catalog.groups().items()):
+        values = []
+        for name in members:
+            trace = catalog.generate(name, LENGTH)
+            curve = lru_miss_ratio_curve(
+                trace, [DESIGN["capacity"]], line_size=DESIGN["line_size"]
+            )
+            values.append(float(curve[0]))
+        results[group] = (np.mean(values), np.min(values), np.max(values))
+    return results
+
+
+def z80000_sector_hit(names, subblock=16):
+    """Mean hit ratio of the Z80000's 256B sector cache over some traces."""
+    hits = []
+    for name in names:
+        trace = catalog.generate(name, LENGTH)
+        cache = SectorCache(SectorGeometry(256, 16, subblock))
+        for kind, address, size in zip(
+            trace.kinds.tolist(), trace.addresses.tolist(), trace.sizes.tolist()
+        ):
+            cache.access_raw(kind, address, size)
+        hits.append(1.0 - cache.stats.miss_ratio)
+    return float(np.mean(hits))
+
+
+def main() -> None:
+    print(f"One design ({DESIGN['capacity']}B, {DESIGN['line_size']}B lines, "
+          f"fully associative LRU), every workload group:\n")
+    print(f"{'group':18s} {'mean':>7s} {'min':>7s} {'max':>7s}")
+    for group, (mean, low, high) in group_miss_ratios().items():
+        print(f"{group:18s} {mean:7.4f} {low:7.4f} {high:7.4f}")
+
+    print()
+    print("The Z80000 projection problem (Section 1.2):")
+    z8000 = [n for n in catalog.names()
+             if catalog.get(n).architecture == "Zilog Z8000"]
+    heavy = ["FGO1", "CGO1", "FCOMP1", "MVS1", "LISP1"]
+    projected = 0.88  # [Alpe83]'s figure for 16-byte fetches
+    on_toys = z80000_sector_hit(z8000)
+    on_real = z80000_sector_hit(heavy)
+    print(f"  [Alpe83] projected hit ratio           : {projected:.3f}")
+    print(f"  measured on Z8000-style utility traces : {on_toys:.3f}")
+    print(f"  measured on a 32-bit batch/OS workload : {on_real:.3f}")
+    print("  -> the projection reflects the workload choice, not the cache.")
+
+
+if __name__ == "__main__":
+    main()

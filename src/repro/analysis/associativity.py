@@ -1,0 +1,138 @@
+"""The associativity study.
+
+The paper's experiments use full associativity, with the caveat that "in a
+real machine, performance would be lower", and Section 4.1 asserts the
+2-way VAX 11/780's penalty "should be small".  This module quantifies
+those statements over the catalog: miss ratio as a function of
+associativity (direct-mapped up to fully associative) per workload and
+capacity, with conflict-miss decomposition.
+
+Unlike the LRU size sweeps, associativity changes the set mapping, so the
+one-pass stack algorithm does not apply across the sweep; each cell is a
+direct simulation (the stack pass still supplies the fully-associative
+reference column cheaply).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.address import CacheGeometry
+from ..core.organization import UnifiedCache
+from ..core.simulator import simulate
+from ..core.stackdist import lru_miss_ratio_curve
+from ..workloads import catalog
+from .tables import render_series
+
+__all__ = ["AssociativityStudy", "associativity_study", "DEFAULT_WAYS"]
+
+#: Associativities swept by default; None denotes fully associative.
+DEFAULT_WAYS: tuple[int | None, ...] = (1, 2, 4, 8, None)
+
+
+def _label(ways: int | None) -> str:
+    return "full" if ways is None else f"{ways}-way"
+
+
+@dataclass(frozen=True, slots=True)
+class AssociativityStudy:
+    """Miss ratios over (workload, associativity, capacity).
+
+    Attributes:
+        ways: the swept associativities (None = fully associative).
+        capacities: swept capacities in bytes.
+        miss: ``miss[workload][i][j]`` at ``ways[i]``, ``capacities[j]``.
+    """
+
+    ways: tuple[int | None, ...]
+    capacities: tuple[int, ...]
+    miss: dict[str, np.ndarray]
+
+    def conflict_miss_ratio(self, workload: str, ways: int, capacity: int) -> float:
+        """Extra misses attributable to limited associativity.
+
+        ``miss(ways) - miss(full)`` at the same capacity — the classic
+        conflict-miss component.
+
+        Raises:
+            ValueError: if the full-associativity column was not swept.
+        """
+        if None not in self.ways:
+            raise ValueError("sweep did not include full associativity")
+        surface = self.miss[workload]
+        row = self.ways.index(ways)
+        full_row = self.ways.index(None)
+        column = self.capacities.index(capacity)
+        return float(surface[row, column] - surface[full_row, column])
+
+    def penalty(self, workload: str, ways: int, capacity: int) -> float:
+        """``miss(ways) / miss(full)`` — the relative associativity cost."""
+        surface = self.miss[workload]
+        row = self.ways.index(ways)
+        full_row = self.ways.index(None)
+        column = self.capacities.index(capacity)
+        reference = surface[full_row, column]
+        if reference <= 0:
+            return 1.0
+        return float(surface[row, column] / reference)
+
+    def mean_penalty(self, ways: int, capacity: int) -> float:
+        """The penalty averaged over workloads."""
+        return float(
+            np.mean([self.penalty(name, ways, capacity) for name in self.miss])
+        )
+
+    def render(self, capacity: int) -> str:
+        """Miss ratio vs associativity at one capacity."""
+        column = self.capacities.index(capacity)
+        series = {
+            workload: surface[:, column].tolist()
+            for workload, surface in self.miss.items()
+        }
+        return render_series(
+            "workload \\ ways",
+            [_label(w) for w in self.ways],
+            series,
+            title=f"Associativity study: miss ratio at {capacity}B "
+            "(LRU, 16B lines)",
+        )
+
+
+def associativity_study(
+    workloads: Sequence[str] | None = None,
+    ways: Sequence[int | None] = DEFAULT_WAYS,
+    capacities: Sequence[int] = (1024, 8192),
+    length: int | None = None,
+) -> AssociativityStudy:
+    """Run the associativity sweep.
+
+    Args:
+        workloads: catalog trace names (default: a class spread).
+        ways: associativities to sweep (None = fully associative).
+        capacities: capacities in bytes.
+        length: references per trace.
+
+    Returns:
+        The assembled study.
+    """
+    workloads = list(workloads) if workloads is not None else [
+        "ZGREP", "VCCOM", "FGO1", "LISP1",
+    ]
+    miss: dict[str, np.ndarray] = {}
+    for name in workloads:
+        trace = catalog.generate(name, length)
+        surface = np.empty((len(ways), len(capacities)))
+        for i, way in enumerate(ways):
+            if way is None:
+                surface[i] = lru_miss_ratio_curve(trace, list(capacities))
+            else:
+                for j, capacity in enumerate(capacities):
+                    organization = UnifiedCache(
+                        CacheGeometry(capacity, 16, associativity=way)
+                    )
+                    surface[i, j] = simulate(trace, organization).miss_ratio
+        miss[name] = surface
+    return AssociativityStudy(tuple(ways), tuple(capacities), miss)

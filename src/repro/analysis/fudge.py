@@ -1,0 +1,222 @@
+"""Section 4's "fudge factors": translating workload statistics between
+machine architectures.
+
+The paper proposes "some 'fudge' factors ... by which statistics for
+workloads for one machine architecture can be used to estimate
+corresponding parameters for another (as yet unrealized) architecture."
+Section 4.3 gives the reasoning: architecture complexity drives the
+instruction-fetch share of references (about 1:1 instruction:data for
+"relatively complex (32 bit) architectures up to about 3:1 for extremely
+simplified architectures, assuming a standard (single) register set") and
+branch frequency moves the same way; the known machines serve as
+interpolation anchors.
+
+Two tools are provided:
+
+* :func:`fudge_factor` — empirical M1→M2 multipliers for any measured
+  statistic, computed from the catalog's per-architecture averages; and
+* :class:`ArchitectureEstimator` — Section 4.3's interpolation: place a new
+  architecture on a complexity scale anchored at the measured machines and
+  read off predicted reference-mix and branch statistics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..trace.characteristics import characterize
+from ..workloads import catalog
+from .tables import render_table
+
+__all__ = [
+    "ARCHITECTURE_COMPLEXITY",
+    "ArchitectureStatistics",
+    "architecture_statistics",
+    "fudge_factor",
+    "fudge_table",
+    "ArchitectureEstimator",
+]
+
+#: Complexity scores for the measured architectures (1 = most complex
+#: instruction set).  Ordering follows Section 4.3: "One would expect that
+#: the frequency of instructions would be lowest for the VAX, which is the
+#: most complicated architecture ... next lowest for the 360/370 and
+#: highest for the CDC6400 which has few and simple instructions."  The
+#: 16-bit machines are placed low for mix purposes (the paper excludes
+#: the Z8000 from the complexity discussion because of its word size).
+ARCHITECTURE_COMPLEXITY: dict[str, float] = {
+    "VAX 11/780": 1.00,
+    "IBM 370": 0.80,
+    "IBM 360/91": 0.70,
+    "Zilog Z8000": 0.35,
+    "Motorola 68000": 0.40,
+    "CDC 6400": 0.15,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ArchitectureStatistics:
+    """Catalog-averaged workload statistics for one architecture."""
+
+    architecture: str
+    instruction_fraction: float
+    read_fraction: float
+    write_fraction: float
+    branch_fraction: float
+    references_per_instruction: float
+
+    @property
+    def instruction_to_data_ratio(self) -> float:
+        """Instruction fetches per data reference (Section 4.3's 1:1-3:1)."""
+        data = self.read_fraction + self.write_fraction
+        if data == 0:
+            return float("inf")
+        return self.instruction_fraction / data
+
+
+def architecture_statistics(
+    architecture: str, length: int | None = None
+) -> ArchitectureStatistics:
+    """Average trace statistics for one architecture's catalog traces.
+
+    Raises:
+        ValueError: for an architecture with no catalog traces.
+    """
+    names = [n for n in catalog.names() if catalog.get(n).architecture == architecture]
+    if not names:
+        raise ValueError(f"no catalog traces for architecture {architecture!r}")
+    rows = [characterize(catalog.generate(n, length)) for n in names]
+    # Monitor-style traces fold ifetches into FETCH; count those as
+    # instruction references for mix purposes (the dominant component).
+    instruction = float(np.mean([r.fraction_ifetch + r.fraction_fetch for r in rows]))
+    read = float(np.mean([r.fraction_read for r in rows]))
+    write = float(np.mean([r.fraction_write for r in rows]))
+    branch_rows = [r.branch_fraction for r in rows if r.fraction_ifetch > 0]
+    branch = float(np.mean(branch_rows)) if branch_rows else 0.0
+    return ArchitectureStatistics(
+        architecture=architecture,
+        instruction_fraction=instruction,
+        read_fraction=read,
+        write_fraction=write,
+        branch_fraction=branch,
+        references_per_instruction=1.0 / instruction if instruction else float("inf"),
+    )
+
+
+def fudge_factor(
+    metric: str,
+    from_architecture: str,
+    to_architecture: str,
+    length: int | None = None,
+) -> float:
+    """Empirical multiplier translating a statistic from M1 to M2.
+
+    ``stat(M2) ~ fudge_factor(metric, M1, M2) * stat(M1)``.
+
+    Args:
+        metric: attribute name of :class:`ArchitectureStatistics`
+            (e.g. ``"instruction_fraction"``, ``"branch_fraction"``).
+        from_architecture / to_architecture: display names as used in the
+            catalog (e.g. ``"VAX 11/780"``).
+        length: trace length for the underlying statistics.
+
+    Raises:
+        ValueError: for an unknown metric or a zero source statistic.
+    """
+    source = architecture_statistics(from_architecture, length)
+    target = architecture_statistics(to_architecture, length)
+    try:
+        source_value = getattr(source, metric)
+        target_value = getattr(target, metric)
+    except AttributeError:
+        raise ValueError(f"unknown metric {metric!r}") from None
+    if not source_value:
+        raise ValueError(f"{metric} is zero for {from_architecture}; no ratio exists")
+    return target_value / source_value
+
+
+def fudge_table(
+    metrics: Sequence[str] = ("instruction_fraction", "branch_fraction"),
+    length: int | None = None,
+) -> str:
+    """Render the full M1->M2 fudge-factor matrix for the given metrics."""
+    architectures = list(ARCHITECTURE_COMPLEXITY)
+    stats = {a: architecture_statistics(a, length) for a in architectures}
+    blocks = []
+    for metric in metrics:
+        rows = []
+        for source in architectures:
+            cells: list[object] = [source]
+            for target in architectures:
+                source_value = getattr(stats[source], metric)
+                target_value = getattr(stats[target], metric)
+                cells.append(
+                    f"{target_value / source_value:.2f}" if source_value else "-"
+                )
+            rows.append(cells)
+        blocks.append(
+            render_table(
+                ["from \\ to"] + architectures,
+                rows,
+                title=f"Fudge factors: {metric}",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+class ArchitectureEstimator:
+    """Section 4.3's interpolation over architecture complexity.
+
+    Builds piecewise-linear maps from the complexity scores of the
+    measured machines to their catalog statistics; an unrealized
+    architecture gets estimates by interpolating at its complexity.
+
+    Args:
+        length: trace length for the anchor statistics.
+        exclude_16_bit: drop the Z8000 and M68000 anchors, as Section 4.3
+            does ("We are omitting the Z8000 from this discussion since it
+            is a 16-bit architecture").
+    """
+
+    def __init__(self, length: int | None = None, exclude_16_bit: bool = True) -> None:
+        anchors = [
+            (score, architecture_statistics(arch, length))
+            for arch, score in ARCHITECTURE_COMPLEXITY.items()
+            if not (exclude_16_bit and arch in ("Zilog Z8000", "Motorola 68000"))
+        ]
+        anchors.sort(key=lambda pair: pair[0])
+        self._scores = np.asarray([score for score, _ in anchors])
+        self._anchors = [stats for _, stats in anchors]
+
+    def _interpolate(self, metric: str, complexity: float) -> float:
+        values = np.asarray([getattr(a, metric) for a in self._anchors])
+        return float(np.interp(complexity, self._scores, values))
+
+    def estimate(self, complexity: float) -> ArchitectureStatistics:
+        """Predicted statistics for an architecture of given complexity.
+
+        Args:
+            complexity: 0 (extremely simple, RISC-like) to 1 (VAX-like).
+
+        Raises:
+            ValueError: if complexity is outside [0, 1].
+        """
+        if not 0.0 <= complexity <= 1.0:
+            raise ValueError(f"complexity must be in [0, 1], got {complexity}")
+        instruction = self._interpolate("instruction_fraction", complexity)
+        read = self._interpolate("read_fraction", complexity)
+        write = self._interpolate("write_fraction", complexity)
+        branch = self._interpolate("branch_fraction", complexity)
+        return ArchitectureStatistics(
+            architecture=f"<complexity {complexity:.2f}>",
+            instruction_fraction=instruction,
+            read_fraction=read,
+            write_fraction=write,
+            branch_fraction=branch,
+            references_per_instruction=(
+                1.0 / instruction if instruction else float("inf")
+            ),
+        )

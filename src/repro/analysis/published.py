@@ -1,0 +1,176 @@
+"""Published measurements the paper validates against.
+
+Section 1.2 reviews the handful of *real* (hardware-monitor) cache
+measurements available in 1985, and Section 4.1 uses them to sanity-check
+the design-target table.  This module encodes those numbers so the
+reproduction can run the same comparisons:
+
+* [Hard80] — power-law miss-ratio curves for IBM/MVS supervisor and
+  problem state (the paper's Figure 2);
+* [Clar83] — Clark's VAX-11/780 hardware measurements;
+* [Mil85], [Mer74], [Hat83], [Fran84], [Alpe83] — single data points and
+  the Z80000 projections whose optimism motivated the paper.
+
+A note on Figure 2's coefficients: our source text renders the curves as
+"0.5249*(1+0.5309)" and "0.03*(1+0.1982)", which is OCR-corrupted (a
+constant would not describe a curve).  The quoted *hit ratios* — 0.925 /
+0.948 / 0.964 supervisor and ~0.98 problem state at 16K/32K/64K — are
+self-consistent with power laws of exponents 0.5309 and 0.1982, so we fit
+the coefficients to the quoted hit ratios and keep the printed exponents.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "PowerLawMissRatio",
+    "HARD80_SUPERVISOR",
+    "HARD80_PROBLEM",
+    "CLARK83_VAX",
+    "MILANDRE85_370_165",
+    "MERRILL74_370_168",
+    "HATTORI83_M380",
+    "FRANK84_SYNAPSE",
+    "ALPERT83_Z80000",
+    "figure2_series",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class PowerLawMissRatio:
+    """Miss ratio modelled as ``a * (size/1024)**-b`` (size in bytes).
+
+    The power law is the classic empirical form for miss ratio versus cache
+    size; the paper's own observation that "doubling the cache size seems
+    to cut the miss ratio by about 23%" is a power law with b ~ 0.38.
+    """
+
+    coefficient: float
+    exponent: float
+
+    def miss_ratio(self, size_bytes: int) -> float:
+        """Miss ratio at a cache size, clamped to [0, 1].
+
+        Raises:
+            ValueError: for a non-positive size.
+        """
+        if size_bytes <= 0:
+            raise ValueError(f"size_bytes must be positive, got {size_bytes}")
+        value = self.coefficient * (size_bytes / 1024.0) ** (-self.exponent)
+        return max(0.0, min(1.0, value))
+
+    def hit_ratio(self, size_bytes: int) -> float:
+        """1 - miss ratio."""
+        return 1.0 - self.miss_ratio(size_bytes)
+
+    @classmethod
+    def fit(cls, points: dict[int, float]) -> "PowerLawMissRatio":
+        """Least-squares power-law fit through ``{size_bytes: miss_ratio}``.
+
+        Raises:
+            ValueError: with fewer than two points or non-positive values.
+        """
+        if len(points) < 2:
+            raise ValueError("need at least two points to fit a power law")
+        xs, ys = [], []
+        for size, miss in points.items():
+            if size <= 0 or miss <= 0:
+                raise ValueError("sizes and miss ratios must be positive to fit")
+            xs.append(math.log(size / 1024.0))
+            ys.append(math.log(miss))
+        n = len(xs)
+        mean_x = sum(xs) / n
+        mean_y = sum(ys) / n
+        sxx = sum((x - mean_x) ** 2 for x in xs)
+        sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+        slope = sxy / sxx if sxx else 0.0
+        intercept = mean_y - slope * mean_x
+        return cls(coefficient=math.exp(intercept), exponent=-slope)
+
+
+#: [Hard80] MVS supervisor-state curve (IBM 370, 32-byte lines): exponent
+#: 0.5309 from the paper, coefficient fitted to the quoted hit ratios
+#: (0.925, 0.948, 0.964) at (16K, 32K, 64K).
+HARD80_SUPERVISOR = PowerLawMissRatio(coefficient=0.3268, exponent=0.5309)
+
+#: [Hard80] problem (user) state curve: exponent 0.1982 from the paper,
+#: coefficient 0.03 as printed (consistent with hit ratios ~0.98).
+HARD80_PROBLEM = PowerLawMissRatio(coefficient=0.03, exponent=0.1982)
+
+
+def figure2_series(sizes: list[int]) -> dict[str, list[float]]:
+    """Figure 2: the [Hard80] supervisor and problem-state curves."""
+    return {
+        "MVS supervisor [Hard80]": [HARD80_SUPERVISOR.miss_ratio(s) for s in sizes],
+        "problem state [Hard80]": [HARD80_PROBLEM.miss_ratio(s) for s in sizes],
+    }
+
+
+@dataclass(frozen=True, slots=True)
+class Clark83:
+    """[Clar83] VAX-11/780 hardware measurements (8K cache, 8-byte lines,
+    2-way set associative, write through)."""
+
+    cache_bytes: int = 8192
+    line_bytes: int = 8
+    data_miss_ratio: float = 0.165
+    instruction_miss_ratio: float = 0.086
+    overall_read_miss_ratio: float = 0.103
+    #: The half-cache (4K) experiment: data, instruction, overall read.
+    halved_data_miss_ratio: float = 0.211
+    halved_instruction_miss_ratio: float = 0.157
+    halved_overall_miss_ratio: float = 0.175
+    #: DEC's own trace-driven prediction quoted by Clark.
+    predicted_hit_ratio: float = 0.895
+    measured_hit_ratio: float = 0.897
+
+
+CLARK83_VAX = Clark83()
+
+#: [Mil85]: IBM 370/165-2 under VS2 — 16K cache hit ratio, fetches and
+#: stores per instruction, supervisor-state share of CPU cycles.
+MILANDRE85_370_165 = {
+    "cache_bytes": 16384,
+    "hit_ratio": 0.94,
+    "fetches_per_instruction": 1.6,
+    "stores_per_instruction": 0.22,
+    "supervisor_cycle_fraction": 0.73,
+}
+
+#: [Mer74]: IBM 370/168, 16K cache — hit-ratio range over six application
+#: programs, and the MIPS gain measured when the hit ratio improved.
+MERRILL74_370_168 = {
+    "cache_bytes": 16384,
+    "hit_ratio_low": 0.907,
+    "hit_ratio_high": 0.932,
+    "mips_before": 2.07,
+    "mips_after": 2.34,
+    "hit_ratio_before": 0.969,
+    "hit_ratio_after": 0.988,
+}
+
+#: [Hat83]: Fujitsu M380, 64K cache, 64-byte lines — misses per
+#: instruction by workload class.
+HATTORI83_M380 = {
+    "small_scientific": 0.0015,
+    "large_scientific": 0.0114,
+    "business_cobol": 0.035,
+    "time_sharing": 0.044,
+}
+
+#: [Fran84]: Synapse (M68000-based), 16K cache / 16-byte lines.
+FRANK84_SYNAPSE = {"cache_bytes": 16384, "hit_ratio_above": 0.95}
+
+#: [Alpe83]: the Zilog Z80000 projections that motivated this paper —
+#: 256-byte on-chip sector cache, 16-byte sectors, hit ratios projected
+#: from Z8000 traces for 2/4/16-byte sub-blocks.
+ALPERT83_Z80000 = {
+    "cache_bytes": 256,
+    "sector_bytes": 16,
+    "projected_hit_ratios": {2: 0.62, 4: 0.75, 16: 0.88},
+    #: Section 4.1: "we predict about 30%" miss for the 16-byte case,
+    #: versus the 12% implied by [Alpe83].
+    "paper_predicted_miss_16B": 0.30,
+}

@@ -1,0 +1,122 @@
+"""Table 2: characteristics of each trace.
+
+The paper tabulates, per trace: the reference mix (instruction fetch /
+read / write percentages), the instruction and data footprints in distinct
+16-byte lines, the total address space touched, the apparent taken-branch
+percentage, and the trace length.  Section 3.2 draws the famous
+observations from it: ~2 references per instruction on the 370/VAX, reads
+outnumbering writes ~2:1, the Z8000/CDC instruction-fetch shares above
+75%, and branch frequency ordering by architecture complexity.
+
+Group-average anchors from the paper's prose are in
+:data:`PAPER_GROUP_STATS` for comparison.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..trace.characteristics import TraceCharacteristics, characterize
+from ..workloads import catalog
+from .tables import render_table
+
+__all__ = ["PAPER_GROUP_STATS", "Table2Result", "table2_experiment"]
+
+#: Prose anchors: per-architecture instruction-fetch share, branch fraction
+#: of ifetches, and mean address space (bytes).  The M68000 rows have no
+#: ifetch/branch entries because the hardware monitor could not classify
+#: fetches — true of the paper's traces and of ours.
+PAPER_GROUP_STATS: dict[str, dict[str, float]] = {
+    "IBM 370": {"aspace": 58439, "branch": 0.140},
+    "IBM 360/91": {"aspace": 28396, "branch": 0.160},
+    "VAX (non-Lisp)": {"aspace": 23032, "branch": 0.175},
+    "VAX (Lisp)": {"aspace": 61598, "branch": 0.141},
+    "Zilog Z8000": {"aspace": 11351, "ifetch": 0.751, "branch": 0.105},
+    "CDC 6400": {"aspace": 21305, "ifetch": 0.772, "branch": 0.042},
+    "Motorola 68000": {"aspace": 2868},
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Table2Result:
+    """The reproduced Table 2."""
+
+    rows: dict[str, TraceCharacteristics]
+
+    def group_summary(self) -> dict[str, dict[str, float]]:
+        """Group averages of the Table 2 columns."""
+        out: dict[str, dict[str, float]] = {}
+        for group, members in catalog.groups().items():
+            present = [self.rows[m] for m in members if m in self.rows]
+            if not present:
+                continue
+            out[group] = {
+                "ifetch": float(np.mean([r.fraction_ifetch + r.fraction_fetch
+                                         for r in present])),
+                "read": float(np.mean([r.fraction_read for r in present])),
+                "write": float(np.mean([r.fraction_write for r in present])),
+                "branch": float(np.mean([r.branch_fraction for r in present])),
+                "ilines": float(np.mean([r.instruction_lines for r in present])),
+                "dlines": float(np.mean([r.data_lines for r in present])),
+                "aspace": float(np.mean([r.address_space_bytes for r in present])),
+            }
+        return out
+
+    def render(self) -> str:
+        """Per-trace table plus group averages with paper anchors."""
+        body = []
+        for name, row in self.rows.items():
+            body.append(
+                (
+                    name,
+                    row.architecture,
+                    row.language,
+                    f"{100 * (row.fraction_ifetch + row.fraction_fetch):.1f}",
+                    f"{100 * row.fraction_read:.1f}",
+                    f"{100 * row.fraction_write:.1f}",
+                    row.instruction_lines,
+                    row.data_lines,
+                    row.address_space_bytes,
+                    f"{100 * row.branch_fraction:.1f}",
+                    row.length,
+                )
+            )
+        per_trace = render_table(
+            ["trace", "architecture", "language", "%ifetch", "%read", "%write",
+             "#Ilines", "#Dlines", "Aspace", "%branch", "length"],
+            body,
+            title="Table 2: trace characteristics (16-byte lines)",
+        )
+        summary_rows = []
+        for group, stats in self.group_summary().items():
+            anchors = PAPER_GROUP_STATS.get(group, {})
+            summary_rows.append(
+                (
+                    group,
+                    f"{100 * stats['ifetch']:.1f}",
+                    f"{100 * stats['branch']:.1f}",
+                    f"{stats['aspace']:.0f}",
+                    f"{100 * anchors['ifetch']:.1f}" if "ifetch" in anchors else "-",
+                    f"{100 * anchors['branch']:.1f}" if "branch" in anchors else "-",
+                    f"{anchors['aspace']:.0f}" if "aspace" in anchors else "-",
+                )
+            )
+        summary = render_table(
+            ["group", "%ifetch", "%branch", "Aspace",
+             "paper:%ifetch", "paper:%branch", "paper:Aspace"],
+            summary_rows,
+            title="Group averages vs paper anchors",
+        )
+        return per_trace + "\n\n" + summary
+
+
+def table2_experiment(
+    names: Sequence[str] | None = None, length: int | None = None
+) -> Table2Result:
+    """Characterize catalog traces (defaults: all 57 Table 1 rows)."""
+    names = list(names) if names is not None else catalog.table1_names()
+    rows = {name: characterize(catalog.generate(name, length)) for name in names}
+    return Table2Result(rows)

@@ -1,0 +1,98 @@
+"""Plain-text rendering of tables and figure series.
+
+The paper's deliverables are tables and log-scale figures; this module
+renders both as monospace text so every bench target can print "the same
+rows/series the paper reports" (DESIGN.md).  Figures are emitted as aligned
+numeric series (one row per trace/group, one column per cache size), which
+is the form the paper's plots were drawn from.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+__all__ = ["render_table", "render_series", "format_size", "format_ratio"]
+
+
+def format_size(size_bytes: int) -> str:
+    """Cache size label the way the paper's tables print it (bytes)."""
+    return str(size_bytes)
+
+
+def format_ratio(value: float, digits: int = 4) -> str:
+    """Fixed-point ratio cell, e.g. ``0.0481``."""
+    return f"{value:.{digits}f}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    Args:
+        headers: column names.
+        rows: cell values; everything is ``str()``-ed.
+        title: optional caption printed above the table.
+
+    Returns:
+        The table as a single string (no trailing newline).
+    """
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("  ".join("-" * width for width in widths))
+    parts.extend(line(row) for row in materialized)
+    return "\n".join(parts)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[int],
+    series: Mapping[str, Sequence[float]],
+    title: str | None = None,
+    digits: int = 4,
+) -> str:
+    """Render a figure as a family of numeric series.
+
+    Args:
+        x_label: name of the x axis (e.g. ``"cache bytes"``).
+        x_values: shared x coordinates (cache sizes).
+        series: mapping of series name to y values, one per x value.
+        title: optional caption.
+        digits: decimal places for y values.
+
+    Returns:
+        A monospace block: header row of x values, one row per series.
+
+    Raises:
+        ValueError: if any series length disagrees with ``x_values``.
+    """
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points for {len(x_values)} x values"
+            )
+    headers = [x_label] + [str(x) for x in x_values]
+    rows = [
+        [name] + [format_ratio(v, digits) for v in values]
+        for name, values in series.items()
+    ]
+    # Left-align the series-name column for readability.
+    table = render_table(headers, rows, title)
+    return table

@@ -1,0 +1,142 @@
+"""The write-policy study.
+
+Section 3.3 frames the copy-back vs write-through decision through the
+write-traffic statistics: "For a machine which uses write through ... the
+write frequency is usually just the frequency in the trace of stores"
+(except when adjacent short writes are combined), while "if the machine
+uses copy-back ... the frequency of writes to memory is the miss ratio
+times the probability that a line to be pushed is dirty."  This module
+measures both sides over the catalog: total memory traffic under
+write-through (with and without a combining buffer) and copy-back, and the
+store-locality statistic (writes per written-line) that decides which
+policy wins.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.address import CacheGeometry
+from ..core.organization import UnifiedCache
+from ..core.simulator import simulate
+from ..core.write import WritePolicy, WriteStrategy
+from ..workloads import catalog
+from .tables import render_series
+
+__all__ = ["WritePolicyStudy", "write_policy_study"]
+
+#: The policies compared, in rendering order.
+_POLICIES: tuple[tuple[str, WritePolicy], ...] = (
+    ("copy-back", WritePolicy(WriteStrategy.COPY_BACK, True)),
+    ("write-through", WritePolicy(WriteStrategy.WRITE_THROUGH, False)),
+    (
+        "write-through+combine",
+        WritePolicy(WriteStrategy.WRITE_THROUGH, False, combining_bytes=8),
+    ),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class WritePolicyStudy:
+    """Traffic and miss statistics per (workload, write policy).
+
+    Attributes:
+        capacity: the cache size used (bytes).
+        traffic_bytes: ``traffic_bytes[workload][policy]`` — total memory
+            traffic in bytes.
+        write_transactions: memory write transactions (write-backs under
+            copy-back; store write-throughs otherwise).
+        miss_ratio: miss ratios (write-through no-allocate caches can miss
+            *more*: store misses never fill the cache).
+        writes_per_written_line: mean stores landing on each line that was
+            written at all — the store-locality statistic that makes
+            copy-back pay off.
+    """
+
+    capacity: int
+    traffic_bytes: dict[str, dict[str, int]]
+    write_transactions: dict[str, dict[str, int]]
+    miss_ratio: dict[str, dict[str, float]]
+    writes_per_written_line: dict[str, float]
+
+    def policy_names(self) -> list[str]:
+        """The compared policies, in order."""
+        return [name for name, _ in _POLICIES]
+
+    def traffic_ratio(self, workload: str, policy: str) -> float:
+        """Traffic of ``policy`` relative to copy-back for one workload."""
+        base = self.traffic_bytes[workload]["copy-back"]
+        if base == 0:
+            return 1.0
+        return self.traffic_bytes[workload][policy] / base
+
+    def render(self) -> str:
+        """Traffic ratios (relative to copy-back), one row per workload."""
+        series = {
+            workload: [self.traffic_ratio(workload, policy)
+                       for policy in self.policy_names()]
+            for workload in self.traffic_bytes
+        }
+        return render_series(
+            "workload \\ policy",
+            self.policy_names(),
+            series,
+            title=f"Write-policy study: memory traffic relative to copy-back "
+            f"({self.capacity}B cache, 16B lines)",
+            digits=3,
+        )
+
+
+def write_policy_study(
+    workloads: Sequence[str] | None = None,
+    capacity: int = 16 * 1024,
+    purge_interval: int | None = 20_000,
+    length: int | None = None,
+) -> WritePolicyStudy:
+    """Run the write-policy comparison.
+
+    Args:
+        workloads: catalog trace names (default: a class spread).
+        capacity: cache size in bytes.
+        purge_interval: task-switch quantum (the paper's Table 3 setting).
+        length: references per trace.
+
+    Returns:
+        The assembled study.
+    """
+    workloads = list(workloads) if workloads is not None else [
+        "ZGREP", "VCCOM", "CGO1", "LISP1",
+    ]
+    traffic: dict[str, dict[str, int]] = {}
+    transactions: dict[str, dict[str, int]] = {}
+    misses: dict[str, dict[str, float]] = {}
+    store_locality: dict[str, float] = {}
+    for name in workloads:
+        trace = catalog.generate(name, length)
+        traffic[name] = {}
+        transactions[name] = {}
+        misses[name] = {}
+        for policy_name, policy in _POLICIES:
+            organization = UnifiedCache(
+                CacheGeometry(capacity, 16), write_policy=policy
+            )
+            report = simulate(trace, organization, purge_interval=purge_interval)
+            stats = report.overall
+            traffic[name][policy_name] = stats.memory_traffic_bytes
+            transactions[name][policy_name] = (
+                stats.lines_written_back
+                if policy.is_copy_back
+                else stats.write_throughs
+            )
+            misses[name][policy_name] = stats.miss_ratio
+        # Store locality: stores per distinct written line.
+        from ..trace.record import AccessKind
+
+        mask = trace.kinds == int(AccessKind.WRITE)
+        written_lines = np.unique(trace.addresses[mask] // 16)
+        stores = int(np.count_nonzero(mask))
+        store_locality[name] = stores / max(1, len(written_lines))
+    return WritePolicyStudy(capacity, traffic, transactions, misses, store_locality)

@@ -1,0 +1,292 @@
+"""Command-line front end: ``repro-cachesim`` (or ``python -m repro``).
+
+Subcommands map one-to-one onto the paper's experiments plus the basic
+simulator operations::
+
+    repro-cachesim list-traces
+    repro-cachesim characterize ZGREP VCCOM
+    repro-cachesim generate ZGREP -o zgrep.rtrc --length 100000
+    repro-cachesim simulate ZGREP --size 16384 --split --purge 20000
+    repro-cachesim table1 --length 100000
+    repro-cachesim table2
+    repro-cachesim table3
+    repro-cachesim table4 --length 60000
+    repro-cachesim table5
+    repro-cachesim fig2
+    repro-cachesim fig3-4 --length 60000
+    repro-cachesim validate
+    repro-cachesim fudge
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import analysis
+from .analysis.table2 import table2_experiment
+from .core import (
+    CacheGeometry,
+    FetchPolicy,
+    SplitCache,
+    UnifiedCache,
+    WritePolicy,
+    WriteStrategy,
+    policy_factory,
+    simulate,
+)
+from .trace import save_trace
+from .workloads import catalog
+
+__all__ = ["main"]
+
+
+def _sizes(argument: str) -> list[int]:
+    return [int(token) for token in argument.split(",")]
+
+
+def _add_length(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--length", type=int, default=None,
+        help="references per trace (default: the paper's per-trace length)",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cachesim",
+        description="Reproduction of Smith, 'Cache Evaluation and the "
+        "Impact of Workload Choice' (ISCA 1985).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-traces", help="list the 57 catalog traces")
+
+    p = sub.add_parser("study",
+                       help="run a design-space study (line size or "
+                       "associativity)")
+    p.add_argument("dimension", choices=["linesize", "associativity"])
+    p.add_argument("--capacity", type=int, default=8192,
+                   help="capacity at which to print the study (bytes)")
+    _add_length(p)
+
+    p = sub.add_parser("machines",
+                       help="list the paper's real machines; optionally "
+                       "simulate a trace on one")
+    p.add_argument("--on", default=None, metavar="MACHINE",
+                   help="machine name to simulate (see the listing)")
+    p.add_argument("--trace", default="VCCOM")
+    _add_length(p)
+
+    p = sub.add_parser("characterize", help="Table 2 rows for given traces")
+    p.add_argument("traces", nargs="+")
+    _add_length(p)
+
+    p = sub.add_parser("generate", help="generate a trace to a file")
+    p.add_argument("trace")
+    p.add_argument("-o", "--output", required=True)
+    _add_length(p)
+
+    p = sub.add_parser("simulate", help="simulate one trace / cache configuration")
+    p.add_argument("trace")
+    p.add_argument("--size", type=int, default=16384, help="capacity in bytes")
+    p.add_argument("--line", type=int, default=16, help="line size in bytes")
+    p.add_argument("--assoc", type=int, default=None,
+                   help="set associativity (default: fully associative)")
+    p.add_argument("--replacement", default="lru",
+                   choices=["lru", "fifo", "random", "lfu"])
+    p.add_argument("--write", default="copy-back",
+                   choices=["copy-back", "write-through"])
+    p.add_argument("--fetch", default="demand",
+                   choices=["demand", "prefetch-always", "prefetch-tagged"])
+    p.add_argument("--split", action="store_true", help="split I/D caches")
+    p.add_argument("--purge", type=int, default=None,
+                   help="purge every N references (task switching)")
+    _add_length(p)
+
+    for name, help_text in [
+        ("table1", "Table 1 / Figure 1: unified miss ratios for all traces"),
+        ("table2", "Table 2: trace characteristics"),
+        ("table3", "Table 3: dirty-push fractions"),
+        ("table4", "Table 4 + Figures 5-10: the prefetch study"),
+        ("table5", "Table 5: design target miss ratios"),
+        ("fig2", "Figure 2: [Hard80] MVS curves"),
+        ("fig3-4", "Figures 3-4: split I/D miss ratios"),
+        ("validate", "Section 4.1 validations (Clark, Z80000, 68020)"),
+        ("fudge", "Section 4 cross-architecture fudge factors"),
+        ("report", "run everything and emit a Markdown experiment report"),
+    ]:
+        p = sub.add_parser(name, help=help_text)
+        _add_length(p)
+        if name in ("table1", "fig3-4", "table4"):
+            p.add_argument("--sizes", type=_sizes, default=None,
+                           help="comma-separated cache sizes in bytes")
+        if name == "report":
+            p.add_argument("--no-prefetch", action="store_true",
+                           help="skip the expensive prefetch study")
+            p.add_argument("-o", "--output", default=None,
+                           help="write the report to a file instead of stdout")
+    return parser
+
+
+def _cmd_list_traces() -> None:
+    rows = []
+    for name in catalog.names():
+        params = catalog.get(name)
+        rows.append(
+            (name, params.architecture, params.language,
+             catalog.default_length(name), params.description[:60])
+        )
+    print(analysis.render_table(
+        ["trace", "architecture", "language", "length", "description"], rows,
+        title="The 57 catalog traces (49 programs; LISP/VAXIMA in 5 sections)",
+    ))
+
+
+def _cmd_machines(args: argparse.Namespace) -> None:
+    from .machines import ALL_MACHINES
+
+    if args.on is None:
+        rows = [
+            (m.name, m.capacity, m.line_size,
+             m.associativity if m.associativity else "full",
+             "sector" if m.sector_size else
+             ("split" if m.split else "unified"),
+             m.write_policy.strategy.value)
+            for m in ALL_MACHINES.values()
+        ]
+        print(analysis.render_table(
+            ["machine", "bytes", "line", "ways", "organization", "write"],
+            rows, title="Machines described in the paper",
+        ))
+        return
+    try:
+        machine = ALL_MACHINES[args.on]
+    except KeyError:
+        raise SystemExit(
+            f"unknown machine {args.on!r}; run 'machines' for the list"
+        ) from None
+    trace = catalog.generate(args.trace, args.length)
+    report = simulate(trace, machine.build(), purge_interval=20_000)
+    print(f"{machine.name}: miss ratio {report.miss_ratio:.4f} on "
+          f"{args.trace} ({report.references} references)")
+    if machine.notes:
+        print(f"  ({machine.notes})")
+
+
+def _cmd_simulate(args: argparse.Namespace) -> None:
+    trace = catalog.generate(args.trace, args.length)
+    geometry = CacheGeometry(args.size, args.line, args.assoc)
+    if args.write == "copy-back":
+        write = WritePolicy(WriteStrategy.COPY_BACK, allocate_on_write=True)
+    else:
+        write = WritePolicy(WriteStrategy.WRITE_THROUGH, allocate_on_write=False)
+    fetch = FetchPolicy(args.fetch)
+    replacement = policy_factory(args.replacement)
+    if args.split:
+        organization = SplitCache(
+            geometry, replacement=replacement, write_policy=write, fetch_policy=fetch
+        )
+    else:
+        organization = UnifiedCache(
+            geometry, replacement=replacement, write_policy=write, fetch_policy=fetch
+        )
+    report = simulate(trace, organization, purge_interval=args.purge)
+    stats = report.overall
+    print(f"trace            : {report.trace_name} ({report.references} references)")
+    print(f"cache            : {geometry.describe()}"
+          f"{' (split I/D)' if args.split else ''}")
+    print(f"policies         : {args.replacement}, {args.write}, {args.fetch}")
+    print(f"miss ratio       : {report.miss_ratio:.4f}")
+    print(f"  instruction    : {report.instruction_miss_ratio:.4f}")
+    print(f"  data           : {report.data_miss_ratio:.4f}")
+    print(f"memory traffic   : {stats.memory_traffic_bytes} bytes "
+          f"({stats.lines_fetched} fetches, {stats.lines_written_back} write-backs)")
+    print(f"dirty data pushes: {stats.dirty_data_push_fraction:.3f} of {stats.data_pushes}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    command = args.command
+    if command == "list-traces":
+        _cmd_list_traces()
+    elif command == "machines":
+        _cmd_machines(args)
+    elif command == "study":
+        if args.dimension == "linesize":
+            study = analysis.line_size_study(
+                capacities=(args.capacity,), length=args.length
+            )
+        else:
+            study = analysis.associativity_study(
+                capacities=(args.capacity,), length=args.length
+            )
+        print(study.render(args.capacity))
+    elif command == "characterize":
+        result = table2_experiment(args.traces, args.length)
+        print(result.render())
+    elif command == "generate":
+        trace = catalog.generate(args.trace, args.length)
+        save_trace(trace, args.output)
+        print(f"wrote {len(trace)} references to {args.output}")
+    elif command == "simulate":
+        _cmd_simulate(args)
+    elif command == "table1":
+        result = analysis.table1_experiment(sizes=args.sizes or analysis.PAPER_CACHE_SIZES,
+                                            length=args.length)
+        print(result.render())
+    elif command == "table2":
+        print(table2_experiment(length=args.length).render())
+    elif command == "table3":
+        print(analysis.table3_experiment(length=args.length).render())
+    elif command == "table4":
+        study = analysis.prefetch_study(sizes=args.sizes or analysis.PAPER_CACHE_SIZES,
+                                        length=args.length)
+        print(study.render_table4())
+        print()
+        print(study.render_figures())
+    elif command == "table5":
+        targets = analysis.design_target_estimate(length=args.length)
+        print(targets.render())
+    elif command == "fig2":
+        sizes = list(analysis.PAPER_CACHE_SIZES)
+        print(analysis.render_series(
+            "curve \\ bytes", sizes, analysis.figure2_series(sizes),
+            title="Figure 2: [Hard80] MVS miss ratios",
+        ))
+    elif command == "fig3-4":
+        result = analysis.figures_3_and_4(sizes=args.sizes or analysis.PAPER_CACHE_SIZES,
+                                          length=args.length)
+        print(result.render())
+    elif command == "validate":
+        targets = analysis.design_target_estimate(length=args.length)
+        print("Clark [Clar83] comparison:")
+        for key, value in analysis.clark_comparison(targets).items():
+            print(f"  {key:32s} {value:.4f}")
+        print("Z80000 [Alpe83] comparison (hit ratios):")
+        for subblock, row in analysis.z80000_comparison(args.length).items():
+            print(f"  {subblock:2d}B sub-blocks: " +
+                  "  ".join(f"{k}={v:.3f}" for k, v in row.items()))
+        print("68020 256B/4B-line instruction cache (paper predicts 0.2-0.6):")
+        for key, value in analysis.estimate_68020_icache(args.length).items():
+            print(f"  {key:12s} {value:.3f}")
+    elif command == "fudge":
+        print(analysis.fudge_table(length=args.length))
+    elif command == "report":
+        text = analysis.generate_report(
+            length=args.length,
+            include_prefetch=not args.no_prefetch,
+            progress=lambda stage: print(f"[report] {stage}", file=sys.stderr),
+        )
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.output}")
+        else:
+            print(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""Cache geometry and address arithmetic.
+
+A cache in this package is described by a :class:`CacheGeometry`: total
+capacity in bytes, line (block) size in bytes, and associativity.  The
+paper's main experiments use fully associative caches ("The full
+associativity ... indicate[s] that in a real machine, performance would be
+lower"); set-associative and direct-mapped geometries are supported for the
+ablations and for modelling real machines like the 2-way VAX 11/780.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheGeometry", "is_power_of_two", "log2_int"]
+
+
+def is_power_of_two(value: int) -> bool:
+    """True iff ``value`` is a positive power of two."""
+    return value > 0 and value & (value - 1) == 0
+
+
+def log2_int(value: int) -> int:
+    """Exact integer log2.
+
+    Raises:
+        ValueError: if ``value`` is not a positive power of two.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"expected a positive power of two, got {value}")
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True, slots=True)
+class CacheGeometry:
+    """Shape of a cache: capacity, line size and associativity.
+
+    Args:
+        capacity: total data capacity in bytes.
+        line_size: bytes per line (block).  The paper's standard is 16.
+        associativity: lines per set.  ``None`` (the default) means fully
+            associative — one set holding every line, the paper's standard
+            configuration.
+
+    Raises:
+        ValueError: if the capacity or line size is not a power of two, the
+            line size exceeds the capacity, or the associativity does not
+            divide the number of lines.
+    """
+
+    capacity: int
+    line_size: int = 16
+    associativity: int | None = None
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.capacity):
+            raise ValueError(f"capacity must be a power of two, got {self.capacity}")
+        if not is_power_of_two(self.line_size):
+            raise ValueError(f"line_size must be a power of two, got {self.line_size}")
+        if self.line_size > self.capacity:
+            raise ValueError(
+                f"line_size {self.line_size} exceeds capacity {self.capacity}"
+            )
+        if self.associativity is not None:
+            if self.associativity <= 0:
+                raise ValueError(
+                    f"associativity must be positive, got {self.associativity}"
+                )
+            if self.num_lines % self.associativity:
+                raise ValueError(
+                    f"associativity {self.associativity} does not divide "
+                    f"{self.num_lines} lines"
+                )
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of lines in the cache."""
+        return self.capacity // self.line_size
+
+    @property
+    def ways(self) -> int:
+        """Effective associativity (``num_lines`` when fully associative)."""
+        return self.num_lines if self.associativity is None else self.associativity
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (1 when fully associative)."""
+        return self.num_lines // self.ways
+
+    @property
+    def is_fully_associative(self) -> bool:
+        """True when the cache is a single set."""
+        return self.num_sets == 1
+
+    @property
+    def is_direct_mapped(self) -> bool:
+        """True when every set holds one line."""
+        return self.ways == 1
+
+    @property
+    def offset_bits(self) -> int:
+        """Bits of byte offset within a line."""
+        return log2_int(self.line_size)
+
+    @property
+    def index_bits(self) -> int:
+        """Bits of set index."""
+        return log2_int(self.num_sets)
+
+    def line_number(self, address: int) -> int:
+        """Memory line number containing ``address``."""
+        return address >> self.offset_bits
+
+    def set_index(self, line_number: int) -> int:
+        """Set that memory line ``line_number`` maps to (bit selection)."""
+        return line_number & (self.num_sets - 1)
+
+    def describe(self) -> str:
+        """Human-readable summary, e.g. ``'16KiB, 16B lines, fully assoc'``."""
+        if self.is_fully_associative:
+            assoc = "fully assoc"
+        elif self.is_direct_mapped:
+            assoc = "direct-mapped"
+        else:
+            assoc = f"{self.ways}-way"
+        return f"{_human_bytes(self.capacity)}, {self.line_size}B lines, {assoc}"
+
+
+def _human_bytes(count: int) -> str:
+    if count >= 1024 and count % 1024 == 0:
+        return f"{count // 1024}KiB"
+    return f"{count}B"

@@ -1,0 +1,260 @@
+"""The cache engine: a set-associative cache with pluggable policies.
+
+This is the simulator at the centre of the reproduction.  One
+:class:`Cache` models a single cache array — unified, instruction or data;
+the wrappers in :mod:`repro.core.organization` compose them into the
+unified and split organizations the paper simulates.
+
+Design notes
+------------
+Lines are tracked per set in an ``OrderedDict`` mapping the memory line
+number to a small flag bitmask (dirty / data / prefetched / referenced).
+The replacement policy (:mod:`repro.core.replacement`) reorders that dict;
+for LRU every operation on the hot path is O(1).
+
+The flag bits exist to support the paper's measurements directly:
+
+* ``dirty`` — set by stores under copy-back; a pushed dirty line counts a
+  write-back transfer (Table 3, Figures 8-10 traffic).
+* ``data`` — set by any data read/write that touches the line; lets a
+  *unified* cache report the "fraction of data pushes dirty" statistic of
+  Table 3 without a split organization.
+* ``prefetched``/``referenced`` — distinguish useful from useless
+  prefetches (Section 3.5's accuracy discussion).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..trace.record import AccessKind, MemoryAccess
+from .address import CacheGeometry
+from .fetch import FetchPolicy
+from .replacement import LRU, ReplacementPolicy, ReplacementPolicyFactory
+from .stats import CacheStats
+from .write import COPY_BACK, WritePolicy
+
+__all__ = ["Cache", "FLAG_DIRTY", "FLAG_DATA", "FLAG_PREFETCHED", "FLAG_REFERENCED"]
+
+FLAG_DIRTY = 1
+FLAG_DATA = 2
+FLAG_PREFETCHED = 4
+FLAG_REFERENCED = 8
+
+_WRITE = int(AccessKind.WRITE)
+_IFETCH = int(AccessKind.IFETCH)
+_READ = int(AccessKind.READ)
+
+
+class Cache:
+    """A single cache array.
+
+    Args:
+        geometry: capacity / line size / associativity.
+        replacement: factory of per-set replacement policies; defaults to
+            LRU, the paper's policy.
+        write_policy: write strategy; defaults to copy-back with fetch on
+            write, the paper's policy.
+        fetch_policy: demand or sequential prefetch.
+        stats: optional externally owned counter object (used by the split
+            organization to share a line-size-consistent aggregate).
+
+    The hot-path entry point is :meth:`access_raw`; :meth:`access` is the
+    typed convenience wrapper.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        replacement: ReplacementPolicyFactory | None = None,
+        write_policy: WritePolicy = COPY_BACK,
+        fetch_policy: FetchPolicy = FetchPolicy.DEMAND,
+        stats: CacheStats | None = None,
+    ) -> None:
+        self.geometry = geometry
+        self.write_policy = write_policy
+        self.fetch_policy = fetch_policy
+        self.stats = stats if stats is not None else CacheStats(line_size=geometry.line_size)
+        self.stats.line_size = geometry.line_size
+        make_policy = replacement or LRU
+        self._sets: list[OrderedDict[int, int]] = [
+            OrderedDict() for _ in range(geometry.num_sets)
+        ]
+        self._policies: list[ReplacementPolicy] = [
+            make_policy() for _ in range(geometry.num_sets)
+        ]
+        # Hot-path constants.
+        self._offset_bits = geometry.offset_bits
+        self._set_mask = geometry.num_sets - 1
+        self._ways = geometry.ways
+        self._copy_back = write_policy.is_copy_back
+        self._allocate_on_write = write_policy.allocate_on_write
+        self._combine_bytes = write_policy.combining_bytes
+        self._last_write_word = -1
+        self._prefetching = fetch_policy.prefetches
+        self._prefetch_always = fetch_policy is FetchPolicy.PREFETCH_ALWAYS
+
+    # -- public API ----------------------------------------------------------
+
+    def access(self, access: MemoryAccess) -> bool:
+        """Apply one reference; returns True iff (the first line) hit."""
+        return self.access_raw(int(access.kind), access.address, access.size)
+
+    def access_raw(self, kind: int, address: int, size: int) -> bool:
+        """Apply one reference given raw fields (hot path).
+
+        A reference that straddles line boundaries probes every touched
+        line and is counted as one reference per line (see DESIGN.md);
+        the return value reports the first line's outcome.
+
+        Returns:
+            True iff the first touched line was resident.
+        """
+        first_line = address >> self._offset_bits
+        last_line = (address + size - 1) >> self._offset_bits
+        hit = self._reference_line(kind, first_line, size)
+        for line in range(first_line + 1, last_line + 1):
+            self._reference_line(kind, line, size)
+        if kind == _WRITE and not self._copy_back:
+            self._write_through(address, size)
+        return hit
+
+    def purge(self) -> None:
+        """Invalidate the whole cache, pushing every line (task switch).
+
+        Dirty lines are counted as write-backs, exactly as the paper's
+        multiprogramming simulations do when "the cache is purged to
+        simulate multiprogramming".
+        """
+        stats = self.stats
+        for lines, policy in zip(self._sets, self._policies):
+            for tag, flags in lines.items():
+                stats.purge_pushes += 1
+                self._count_push(flags)
+                policy.on_evict(tag)
+            lines.clear()
+        stats.purges += 1
+        self._last_write_word = -1  # a task switch drains the write buffer
+
+    def reset_statistics(self) -> None:
+        """Zero the counters without touching cache contents.
+
+        Supports warm-start measurement: replay a warmup prefix, reset,
+        then measure — removing the cold-start bias the paper's short
+        traces suffer from (Section 1.1's caveat 1).
+        """
+        self.stats = CacheStats(line_size=self.geometry.line_size)
+
+    def contains(self, address: int) -> bool:
+        """True iff the line holding ``address`` is resident."""
+        line = address >> self._offset_bits
+        return line in self._sets[line & self._set_mask]
+
+    def resident_lines(self) -> list[int]:
+        """Memory line numbers currently resident (set order)."""
+        return [tag for lines in self._sets for tag in lines]
+
+    def __len__(self) -> int:
+        """Number of resident lines."""
+        return sum(len(lines) for lines in self._sets)
+
+    @property
+    def capacity_lines(self) -> int:
+        """Total line slots."""
+        return self.geometry.num_lines
+
+    def line_flags(self, line: int) -> int | None:
+        """Flag bitmask for a resident line, or None (testing/introspection)."""
+        return self._sets[line & self._set_mask].get(line)
+
+    # -- internals -----------------------------------------------------------
+
+    def _reference_line(self, kind: int, line: int, size: int) -> bool:
+        stats = self.stats
+        counts = stats.counts_for(AccessKind(kind))
+        counts.references += 1
+
+        is_write = kind == _WRITE
+        flag_update = 0
+        if is_write or kind == _READ:
+            flag_update = FLAG_DATA
+        if is_write and self._copy_back:
+            flag_update |= FLAG_DIRTY
+
+        lines = self._sets[line & self._set_mask]
+        policy = self._policies[line & self._set_mask]
+        flags = lines.get(line)
+        first_touch = False
+        if flags is not None:
+            if flags & FLAG_PREFETCHED and not flags & FLAG_REFERENCED:
+                stats.useful_prefetches += 1
+                first_touch = True
+            lines[line] = flags | flag_update | FLAG_REFERENCED
+            policy.on_hit(lines, line)
+            hit = True
+        else:
+            counts.misses += 1
+            first_touch = True
+            if is_write and not self._allocate_on_write:
+                pass  # no-allocate: the store bypasses the cache entirely
+            else:
+                stats.demand_fetches += 1
+                self._insert(lines, policy, line, flag_update | FLAG_REFERENCED)
+            hit = False
+
+        if self._prefetching and (self._prefetch_always or first_touch):
+            self._prefetch(line + 1)
+        return hit
+
+    def _write_through(self, address: int, size: int) -> None:
+        """Account one store's trip to memory (write-through policy).
+
+        With a combining buffer, consecutive stores landing in the same
+        aligned ``combining_bytes`` word share one memory transaction —
+        Section 3.3's adjacent-short-write exception.
+        """
+        stats = self.stats
+        stats.write_through_bytes += size
+        if not self._combine_bytes:
+            stats.write_throughs += 1
+            return
+        first_word = address // self._combine_bytes
+        last_word = (address + size - 1) // self._combine_bytes
+        for word in range(first_word, last_word + 1):
+            if word == self._last_write_word:
+                stats.combined_writes += 1
+            else:
+                stats.write_throughs += 1
+                self._last_write_word = word
+
+    def _prefetch(self, line: int) -> None:
+        lines = self._sets[line & self._set_mask]
+        if line in lines:
+            return
+        self.stats.prefetches += 1
+        self._insert(lines, self._policies[line & self._set_mask], line, FLAG_PREFETCHED)
+
+    def _insert(
+        self,
+        lines: OrderedDict[int, int],
+        policy: ReplacementPolicy,
+        line: int,
+        flags: int,
+    ) -> None:
+        if len(lines) >= self._ways:
+            victim = policy.choose_victim(lines)
+            victim_flags = lines.pop(victim)
+            policy.on_evict(victim)
+            self.stats.replacement_pushes += 1
+            self._count_push(victim_flags)
+        lines[line] = flags
+        policy.on_insert(lines, line)
+
+    def _count_push(self, flags: int) -> None:
+        stats = self.stats
+        if flags & FLAG_DATA:
+            stats.data_pushes += 1
+            if flags & FLAG_DIRTY:
+                stats.dirty_data_pushes += 1
+        if flags & FLAG_DIRTY:
+            stats.dirty_pushes += 1

@@ -1,0 +1,34 @@
+"""Fetch policies: demand fetching and sequential prefetching.
+
+The paper's prefetch experiments (Section 3.5) use **prefetch always**:
+"Prefetch always verifies that line i+1 is in the cache at the time line i
+is referenced, and if it is not in the cache, then it prefetches it."  So a
+prefetch probe happens on *every* reference, hits and misses alike.
+
+**Tagged prefetch** (from the author's earlier work, [Smit78]) is included
+as an extension: line i+1 is probed only the first time line i is demand
+referenced, which preserves most of the miss-ratio benefit at a fraction of
+the probe (and traffic) cost.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["FetchPolicy"]
+
+
+class FetchPolicy(enum.Enum):
+    """When lines are brought into the cache."""
+
+    #: Fetch only on a miss (the paper's baseline).
+    DEMAND = "demand"
+    #: Probe and prefetch line i+1 on every reference to line i.
+    PREFETCH_ALWAYS = "prefetch-always"
+    #: Probe line i+1 only on the first demand reference to line i.
+    PREFETCH_TAGGED = "prefetch-tagged"
+
+    @property
+    def prefetches(self) -> bool:
+        """True for the two prefetching policies."""
+        return self is not FetchPolicy.DEMAND

@@ -1,0 +1,107 @@
+"""Main-memory timing and machine-performance estimation.
+
+The paper's introduction frames cache choices as cost/performance questions
+("a cache which achieves a 99% hit ratio may cost 80% more than one which
+achieves 98% ... and may only boost overall CPU performance by 8%").  This
+module provides the small analytic model needed to reason that way: a
+memory/bus timing description and an effective-access-time / MIPS estimate
+from cache statistics.  It also computes the **traffic ratio** the paper's
+conclusion warns about ("The traffic ratio, however, may not be lower than
+1.0 [Hil84] and that parameter needs to be carefully watched").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .stats import CacheStats
+
+__all__ = ["MemoryTiming", "PerformanceModel", "traffic_ratio"]
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryTiming:
+    """Timing of the cache/memory pair, in CPU cycles.
+
+    Args:
+        cache_access_cycles: time of a cache hit.
+        memory_latency_cycles: time to start a main-memory transfer.
+        bus_bytes_per_cycle: bus transfer bandwidth.
+
+    Raises:
+        ValueError: for non-positive parameters.
+    """
+
+    cache_access_cycles: float = 1.0
+    memory_latency_cycles: float = 10.0
+    bus_bytes_per_cycle: float = 4.0
+
+    def __post_init__(self) -> None:
+        for name in ("cache_access_cycles", "memory_latency_cycles", "bus_bytes_per_cycle"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive, got {getattr(self, name)}")
+
+    def line_transfer_cycles(self, line_size: int) -> float:
+        """Cycles to move one line (latency + line transfer)."""
+        return self.memory_latency_cycles + line_size / self.bus_bytes_per_cycle
+
+
+@dataclass(frozen=True, slots=True)
+class PerformanceModel:
+    """Effective-access-time machine model.
+
+    Args:
+        timing: memory-system timing.
+        references_per_instruction: memory references per executed
+            instruction; the paper's rule of thumb for the 370 and VAX is
+            about 2 (Section 3.2).
+        base_cpi: cycles per instruction excluding memory-reference stalls.
+    """
+
+    timing: MemoryTiming = MemoryTiming()
+    references_per_instruction: float = 2.0
+    base_cpi: float = 1.0
+
+    def effective_access_cycles(self, miss_ratio: float, line_size: int) -> float:
+        """Mean cycles per memory reference at the given miss ratio."""
+        if not 0.0 <= miss_ratio <= 1.0:
+            raise ValueError(f"miss_ratio must be in [0, 1], got {miss_ratio}")
+        penalty = self.timing.line_transfer_cycles(line_size)
+        return self.timing.cache_access_cycles + miss_ratio * penalty
+
+    def cpi(self, miss_ratio: float, line_size: int) -> float:
+        """Cycles per instruction at the given miss ratio."""
+        stall = self.effective_access_cycles(miss_ratio, line_size) - (
+            self.timing.cache_access_cycles
+        )
+        return self.base_cpi + self.references_per_instruction * stall
+
+    def mips(self, miss_ratio: float, line_size: int, clock_mhz: float = 10.0) -> float:
+        """Instruction rate in MIPS at the given clock.
+
+        Raises:
+            ValueError: for a non-positive clock.
+        """
+        if clock_mhz <= 0:
+            raise ValueError(f"clock_mhz must be positive, got {clock_mhz}")
+        return clock_mhz / self.cpi(miss_ratio, line_size)
+
+    def speedup(self, miss_ratio_a: float, miss_ratio_b: float, line_size: int) -> float:
+        """Performance of design B relative to design A (>1 means B faster)."""
+        return self.cpi(miss_ratio_a, line_size) / self.cpi(miss_ratio_b, line_size)
+
+
+def traffic_ratio(stats: CacheStats, reference_bytes: int) -> float:
+    """Memory traffic with the cache relative to traffic without it.
+
+    Without a cache every reference goes to memory (``reference_bytes``
+    total); with the cache, traffic is line fetches plus write-backs plus
+    write-throughs.  [Hil84]'s point, echoed in the paper's conclusion, is
+    that small-line caches can push this *above* 1.0.
+
+    Raises:
+        ValueError: if ``reference_bytes`` is not positive.
+    """
+    if reference_bytes <= 0:
+        raise ValueError(f"reference_bytes must be positive, got {reference_bytes}")
+    return stats.memory_traffic_bytes / reference_bytes

@@ -1,0 +1,115 @@
+"""Belady's MIN: the offline-optimal replacement policy.
+
+MIN evicts the resident line whose next use lies farthest in the future;
+no realizable policy can miss less.  It is the classic lower-bound
+comparator for replacement studies (Mattson et al. 1970 analyse it beside
+LRU), and the ablation benchmarks use it to show how close the paper's
+LRU standard sits to optimal on these workloads.
+
+MIN needs the whole future, so it is implemented as an offline pass over a
+materialized trace rather than as a
+:class:`~repro.core.replacement.ReplacementPolicy` plug-in.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..trace.record import AccessKind
+from ..trace.stream import Trace
+
+__all__ = ["belady_min_misses", "belady_miss_ratio"]
+
+
+def belady_min_misses(line_stream: np.ndarray, capacity_lines: int) -> int:
+    """Misses of an optimally managed fully associative cache.
+
+    Args:
+        line_stream: integer array of memory line numbers, in reference
+            order.
+        capacity_lines: cache capacity in lines.
+
+    Returns:
+        The number of misses under Belady's MIN (demand fetch).
+
+    Raises:
+        ValueError: if ``capacity_lines`` is not positive.
+    """
+    if capacity_lines <= 0:
+        raise ValueError(f"capacity_lines must be positive, got {capacity_lines}")
+    lines = np.asarray(line_stream)
+    total = len(lines)
+    if total == 0:
+        return 0
+
+    # next_use[t] = index of the next reference to lines[t], or +inf.
+    next_use = np.full(total, np.iinfo(np.int64).max, dtype=np.int64)
+    last_position: dict[int, int] = {}
+    for t in range(total - 1, -1, -1):
+        line = int(lines[t])
+        if line in last_position:
+            next_use[t] = last_position[line]
+        last_position[line] = t
+
+    resident: dict[int, int] = {}  # line -> its next-use time
+    # Max-heap of (-next_use, line) with lazy invalidation.
+    heap: list[tuple[int, int]] = []
+    misses = 0
+    stream = lines.tolist()
+    future = next_use.tolist()
+    for t, line in enumerate(stream):
+        when = future[t]
+        if line in resident:
+            resident[line] = when
+            heapq.heappush(heap, (-when, line))
+            continue
+        misses += 1
+        if len(resident) >= capacity_lines:
+            # Evict the resident line used farthest in the future.
+            while True:
+                negative_when, victim = heapq.heappop(heap)
+                if resident.get(victim) == -negative_when:
+                    del resident[victim]
+                    break
+        resident[line] = when
+        heapq.heappush(heap, (-when, line))
+    return misses
+
+
+def belady_miss_ratio(
+    trace: Trace,
+    capacity: int,
+    line_size: int = 16,
+    kinds: list[AccessKind] | None = None,
+) -> float:
+    """Offline-optimal miss ratio for one cache size.
+
+    Args:
+        trace: the reference stream (straddling accesses use their first
+            line; the synthetic workloads are aligned, so this matches the
+            LRU sweeps).
+        capacity: cache capacity in bytes (multiple of ``line_size``).
+        line_size: line size in bytes.
+        kinds: optional kind filter (as in
+            :func:`repro.core.stackdist.lru_miss_ratio_curve`).
+
+    Raises:
+        ValueError: if the capacity is not a positive multiple of the line
+            size.
+    """
+    if capacity <= 0 or capacity % line_size:
+        raise ValueError(
+            f"capacity must be a positive multiple of line_size={line_size}"
+        )
+    if kinds is not None:
+        mask = np.isin(trace.kinds, [int(k) for k in kinds])
+        addresses = trace.addresses[mask]
+    else:
+        addresses = trace.addresses
+    if len(addresses) == 0:
+        return 0.0
+    lines = addresses // line_size
+    misses = belady_min_misses(lines, capacity // line_size)
+    return misses / len(lines)

@@ -1,0 +1,165 @@
+"""Cache organizations: unified, and split instruction/data.
+
+Section 3.5 of the paper simulates both: "Two cache organizations were
+simulated, a unified (instructions and data) and a split (separate
+instruction and data caches) design."  The write-back study of Table 3 uses
+a split design ("a 32K-byte memory is simulated, partitioned into a
+16K-byte data cache and 16K-byte instruction cache").
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..trace.record import AccessKind, MemoryAccess
+from .address import CacheGeometry
+from .cache import Cache
+from .fetch import FetchPolicy
+from .replacement import ReplacementPolicyFactory
+from .stats import CacheStats
+from .write import COPY_BACK, WritePolicy
+
+__all__ = ["CacheOrganization", "UnifiedCache", "SplitCache"]
+
+_IFETCH = int(AccessKind.IFETCH)
+_READ = int(AccessKind.READ)
+_WRITE = int(AccessKind.WRITE)
+_FETCH = int(AccessKind.FETCH)
+
+
+class CacheOrganization(abc.ABC):
+    """Common interface over unified and split cache designs."""
+
+    @abc.abstractmethod
+    def access_raw(self, kind: int, address: int, size: int) -> bool:
+        """Apply one reference (hot path); True iff it hit."""
+
+    def access(self, access: MemoryAccess) -> bool:
+        """Apply one typed reference; True iff it hit."""
+        return self.access_raw(int(access.kind), access.address, access.size)
+
+    @abc.abstractmethod
+    def purge(self) -> None:
+        """Invalidate everything (task switch)."""
+
+    @abc.abstractmethod
+    def reset_statistics(self) -> None:
+        """Zero all counters without touching cache contents (warm start)."""
+
+    @abc.abstractmethod
+    def overall_stats(self) -> CacheStats:
+        """Aggregate statistics over all constituent caches."""
+
+    @abc.abstractmethod
+    def instruction_stats(self) -> CacheStats:
+        """Statistics for instruction references (their cache, if split)."""
+
+    @abc.abstractmethod
+    def data_stats(self) -> CacheStats:
+        """Statistics for data references (their cache, if split)."""
+
+
+class UnifiedCache(CacheOrganization):
+    """One cache for instructions and data — the paper's Table 1 design.
+
+    Args: identical to :class:`repro.core.cache.Cache`.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        replacement: ReplacementPolicyFactory | None = None,
+        write_policy: WritePolicy = COPY_BACK,
+        fetch_policy: FetchPolicy = FetchPolicy.DEMAND,
+    ) -> None:
+        self.cache = Cache(geometry, replacement, write_policy, fetch_policy)
+
+    def access_raw(self, kind: int, address: int, size: int) -> bool:
+        return self.cache.access_raw(kind, address, size)
+
+    def purge(self) -> None:
+        self.cache.purge()
+
+    def reset_statistics(self) -> None:
+        self.cache.reset_statistics()
+
+    def overall_stats(self) -> CacheStats:
+        return self.cache.stats
+
+    def instruction_stats(self) -> CacheStats:
+        # The unified cache cannot attribute traffic by class; per-class
+        # miss counters live inside the single CacheStats.
+        return self.cache.stats
+
+    def data_stats(self) -> CacheStats:
+        return self.cache.stats
+
+
+class SplitCache(CacheOrganization):
+    """Separate instruction and data caches.
+
+    Instruction fetches go to the I-cache; reads and writes to the D-cache.
+    Monitor-style :attr:`AccessKind.FETCH` references (indistinguishable
+    ifetch/read, M68000 traces) are routed per ``fetch_routing``.
+
+    Args:
+        instruction_geometry: geometry of the I-cache.
+        data_geometry: geometry of the D-cache; defaults to the instruction
+            geometry (the paper's split experiments use equal halves).
+        replacement / write_policy / fetch_policy: as for
+            :class:`~repro.core.cache.Cache`, applied to both halves.
+        fetch_routing: ``"instruction"`` (default) or ``"data"`` — where
+            unclassified FETCH references go.
+
+    Raises:
+        ValueError: if the two geometries have different line sizes or
+            ``fetch_routing`` is invalid.
+    """
+
+    def __init__(
+        self,
+        instruction_geometry: CacheGeometry,
+        data_geometry: CacheGeometry | None = None,
+        replacement: ReplacementPolicyFactory | None = None,
+        write_policy: WritePolicy = COPY_BACK,
+        fetch_policy: FetchPolicy = FetchPolicy.DEMAND,
+        fetch_routing: str = "instruction",
+    ) -> None:
+        data_geometry = data_geometry or instruction_geometry
+        if instruction_geometry.line_size != data_geometry.line_size:
+            raise ValueError(
+                "instruction and data caches must share a line size, got "
+                f"{instruction_geometry.line_size} and {data_geometry.line_size}"
+            )
+        if fetch_routing not in ("instruction", "data"):
+            raise ValueError(
+                f"fetch_routing must be 'instruction' or 'data', got {fetch_routing!r}"
+            )
+        self.icache = Cache(instruction_geometry, replacement, write_policy, fetch_policy)
+        self.dcache = Cache(data_geometry, replacement, write_policy, fetch_policy)
+        self._fetch_to_icache = fetch_routing == "instruction"
+
+    def access_raw(self, kind: int, address: int, size: int) -> bool:
+        if kind == _IFETCH or (kind == _FETCH and self._fetch_to_icache):
+            return self.icache.access_raw(kind, address, size)
+        return self.dcache.access_raw(kind, address, size)
+
+    def purge(self) -> None:
+        self.icache.purge()
+        self.dcache.purge()
+
+    def reset_statistics(self) -> None:
+        self.icache.reset_statistics()
+        self.dcache.reset_statistics()
+
+    def overall_stats(self) -> CacheStats:
+        combined = CacheStats(line_size=self.icache.geometry.line_size)
+        combined.merge(self.icache.stats)
+        combined.merge(self.dcache.stats)
+        return combined
+
+    def instruction_stats(self) -> CacheStats:
+        return self.icache.stats
+
+    def data_stats(self) -> CacheStats:
+        return self.dcache.stats

@@ -1,0 +1,171 @@
+"""Replacement policies.
+
+The paper's experiments all use LRU ("a fully associative cache managed with
+LRU replacement"), which is the default everywhere in this package.  FIFO,
+random and LFU are provided for the ablation benchmarks, and an offline
+optimal policy (Belady's MIN) is available as a lower-bound reference.
+
+A policy instance manages *one set*; the cache creates one policy object per
+set via :func:`ReplacementPolicyFactory`.  The set's resident lines live in
+an ordered dict owned by the cache (:class:`repro.core.cache.CacheSet`); the
+policy only decides ordering and victim choice, so policies stay tiny and the
+hot path stays cheap.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import OrderedDict
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "ReplacementPolicy",
+    "ReplacementPolicyFactory",
+    "LRU",
+    "FIFO",
+    "RandomReplacement",
+    "LFU",
+    "policy_factory",
+]
+
+#: Callable producing a fresh policy instance for each cache set.
+ReplacementPolicyFactory = Callable[[], "ReplacementPolicy"]
+
+
+class ReplacementPolicy(abc.ABC):
+    """Victim-selection strategy for a single cache set.
+
+    The cache calls :meth:`on_hit` when a resident line is referenced,
+    :meth:`on_insert` when a line is brought in, :meth:`on_evict` after the
+    victim has been removed, and :meth:`choose_victim` when space is needed.
+    ``lines`` is the set's residency map, ordered by insertion and reordered
+    only by the policy itself.
+    """
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def on_hit(self, lines: OrderedDict, tag: int) -> None:
+        """Record a reference to resident line ``tag``."""
+
+    def on_insert(self, lines: OrderedDict, tag: int) -> None:
+        """Record that ``tag`` was just inserted (it is last in ``lines``)."""
+
+    def on_evict(self, tag: int) -> None:
+        """Drop any per-line state for ``tag``."""
+
+    @abc.abstractmethod
+    def choose_victim(self, lines: OrderedDict) -> int:
+        """Tag of the line to evict; ``lines`` is non-empty."""
+
+
+class LRU(ReplacementPolicy):
+    """Least-recently-used: the paper's replacement policy.
+
+    The residency dict is kept in recency order (least recent first) by
+    moving hit lines to the end, so victim choice is O(1).
+    """
+
+    name = "lru"
+
+    def on_hit(self, lines: OrderedDict, tag: int) -> None:
+        lines.move_to_end(tag)
+
+    def choose_victim(self, lines: OrderedDict) -> int:
+        return next(iter(lines))
+
+
+class FIFO(ReplacementPolicy):
+    """First-in-first-out: insertion order, ignores hits."""
+
+    name = "fifo"
+
+    def on_hit(self, lines: OrderedDict, tag: int) -> None:
+        pass
+
+    def choose_victim(self, lines: OrderedDict) -> int:
+        return next(iter(lines))
+
+
+class RandomReplacement(ReplacementPolicy):
+    """Uniform-random victim choice.
+
+    Args:
+        rng: numpy Generator; pass a seeded one for reproducible runs.
+    """
+
+    name = "random"
+
+    def __init__(self, rng: np.random.Generator | None = None) -> None:
+        self._rng = rng or np.random.default_rng(0)
+
+    def on_hit(self, lines: OrderedDict, tag: int) -> None:
+        pass
+
+    def choose_victim(self, lines: OrderedDict) -> int:
+        keys = list(lines)
+        return keys[int(self._rng.integers(len(keys)))]
+
+
+class LFU(ReplacementPolicy):
+    """Least-frequently-used with reference counting.
+
+    Counts reset when a line is evicted (no aging), which is the classic
+    in-cache LFU variant.  Ties break toward the least recently inserted.
+    """
+
+    name = "lfu"
+
+    def __init__(self) -> None:
+        self._counts: dict[int, int] = {}
+
+    def on_hit(self, lines: OrderedDict, tag: int) -> None:
+        self._counts[tag] = self._counts.get(tag, 1) + 1
+
+    def on_insert(self, lines: OrderedDict, tag: int) -> None:
+        self._counts[tag] = 1
+
+    def on_evict(self, tag: int) -> None:
+        self._counts.pop(tag, None)
+
+    def choose_victim(self, lines: OrderedDict) -> int:
+        return min(lines, key=lambda tag: self._counts.get(tag, 0))
+
+
+_POLICIES: dict[str, Callable[..., ReplacementPolicy]] = {
+    LRU.name: LRU,
+    FIFO.name: FIFO,
+    RandomReplacement.name: RandomReplacement,
+    LFU.name: LFU,
+}
+
+
+def policy_factory(name: str = "lru", seed: int | None = None) -> ReplacementPolicyFactory:
+    """Factory of per-set policy instances by name.
+
+    Args:
+        name: one of ``lru``, ``fifo``, ``random``, ``lfu``.
+        seed: base seed for stochastic policies; each set gets an
+            independent stream derived from it.
+
+    Raises:
+        ValueError: for an unknown policy name.
+    """
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; expected one of {sorted(_POLICIES)}"
+        ) from None
+    if cls is RandomReplacement:
+        seeds = np.random.SeedSequence(0 if seed is None else seed)
+
+        def make_random() -> ReplacementPolicy:
+            nonlocal seeds
+            seeds, child = seeds.spawn(2)
+            return RandomReplacement(np.random.default_rng(child))
+
+        return make_random
+    return cls

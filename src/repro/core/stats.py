@@ -1,0 +1,214 @@
+"""Simulation statistics.
+
+Every cache keeps a :class:`CacheStats`.  The counters cover everything the
+paper reports: per-class reference and miss counts (Tables 1, 5, Figures 1,
+3-7), memory traffic in lines and bytes for the prefetch study (Table 4,
+Figures 8-10), and push/dirty-push counts for the write-back analysis
+(Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+from ..trace.record import AccessKind
+
+__all__ = ["ClassCounts", "CacheStats"]
+
+
+@dataclass(slots=True)
+class ClassCounts:
+    """References and misses for one access class."""
+
+    references: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        """References that hit."""
+        return self.references - self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses per reference; 0.0 when there were no references."""
+        if self.references == 0:
+            return 0.0
+        return self.misses / self.references
+
+    def merge(self, other: "ClassCounts") -> None:
+        """Accumulate ``other`` into this counter."""
+        self.references += other.references
+        self.misses += other.misses
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Full counter set for one cache (or an aggregate of caches).
+
+    Traffic accounting follows the paper's definitions:
+
+    * *fetches from memory* — lines brought in, split into demand fetches
+      (misses) and prefetches;
+    * *pushes* — lines evicted or purged out of the cache; a push of a dirty
+      line causes a write-back transfer (copy-back policy);
+    * *write-throughs* — individual stores forwarded to memory under the
+      write-through policy.
+
+    Memory traffic (Figures 8-10) is ``lines transferred x line size`` plus
+    write-through bytes.
+    """
+
+    #: Per-class reference/miss counters.
+    ifetch: ClassCounts = field(default_factory=ClassCounts)
+    read: ClassCounts = field(default_factory=ClassCounts)
+    write: ClassCounts = field(default_factory=ClassCounts)
+    #: Monitor-style unclassified fetches (M68000 traces).
+    fetch: ClassCounts = field(default_factory=ClassCounts)
+
+    #: Lines fetched from memory on demand (one per miss, under allocate).
+    demand_fetches: int = 0
+    #: Lines fetched from memory by the prefetch policy.
+    prefetches: int = 0
+    #: Prefetched lines that were referenced before leaving the cache.
+    useful_prefetches: int = 0
+    #: Lines removed from the cache by replacement.
+    replacement_pushes: int = 0
+    #: Lines removed from the cache by a purge (task switch).
+    purge_pushes: int = 0
+    #: Pushed lines that were dirty (these cost a write-back transfer).
+    dirty_pushes: int = 0
+    #: Pushes of *data* lines, and how many of those were dirty — the
+    #: numerator/denominator of Table 3.  A line is a data line if any write
+    #: or data read touched it; under a split organization the data cache's
+    #: pushes are all data pushes.
+    data_pushes: int = 0
+    dirty_data_pushes: int = 0
+    #: Stores forwarded straight to memory (write-through policy).
+    write_throughs: int = 0
+    write_through_bytes: int = 0
+    #: Stores absorbed by the write-combining buffer (no new transaction).
+    combined_writes: int = 0
+    #: Number of purge events (not lines).
+    purges: int = 0
+
+    line_size: int = 16
+
+    # -- derived quantities --------------------------------------------------
+
+    @property
+    def references(self) -> int:
+        """Total references of all classes."""
+        return (
+            self.ifetch.references
+            + self.read.references
+            + self.write.references
+            + self.fetch.references
+        )
+
+    @property
+    def misses(self) -> int:
+        """Total misses of all classes."""
+        return self.ifetch.misses + self.read.misses + self.write.misses + self.fetch.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        """Overall miss ratio; 0.0 with no references."""
+        if self.references == 0:
+            return 0.0
+        return self.misses / self.references
+
+    @property
+    def instruction_miss_ratio(self) -> float:
+        """Miss ratio of instruction fetches."""
+        return self.ifetch.miss_ratio
+
+    @property
+    def data_miss_ratio(self) -> float:
+        """Miss ratio of data reads and writes combined."""
+        refs = self.read.references + self.write.references
+        if refs == 0:
+            return 0.0
+        return (self.read.misses + self.write.misses) / refs
+
+    @property
+    def pushes(self) -> int:
+        """All lines pushed out (replacement + purge)."""
+        return self.replacement_pushes + self.purge_pushes
+
+    @property
+    def dirty_push_fraction(self) -> float:
+        """Fraction of all pushed lines that were dirty."""
+        if self.pushes == 0:
+            return 0.0
+        return self.dirty_pushes / self.pushes
+
+    @property
+    def dirty_data_push_fraction(self) -> float:
+        """Fraction of pushed *data* lines that were dirty — Table 3."""
+        if self.data_pushes == 0:
+            return 0.0
+        return self.dirty_data_pushes / self.data_pushes
+
+    @property
+    def lines_fetched(self) -> int:
+        """Lines transferred memory→cache (demand + prefetch)."""
+        return self.demand_fetches + self.prefetches
+
+    @property
+    def lines_written_back(self) -> int:
+        """Lines transferred cache→memory (dirty pushes)."""
+        return self.dirty_pushes
+
+    @property
+    def memory_traffic_lines(self) -> int:
+        """Total line transfers in either direction."""
+        return self.lines_fetched + self.lines_written_back
+
+    @property
+    def memory_traffic_bytes(self) -> int:
+        """Total bytes moved between cache and memory.
+
+        Line transfers move whole lines; write-throughs move their own
+        sizes.  This is the quantity whose prefetch:demand ratio appears in
+        Table 4 and Figures 8-10.
+        """
+        return self.memory_traffic_lines * self.line_size + self.write_through_bytes
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Fraction of prefetched lines that were used; 0.0 if none issued."""
+        if self.prefetches == 0:
+            return 0.0
+        return self.useful_prefetches / self.prefetches
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def counts_for(self, kind: AccessKind) -> ClassCounts:
+        """The per-class counter for ``kind``."""
+        return {
+            AccessKind.IFETCH: self.ifetch,
+            AccessKind.READ: self.read,
+            AccessKind.WRITE: self.write,
+            AccessKind.FETCH: self.fetch,
+        }[kind]
+
+    def merge(self, other: "CacheStats") -> None:
+        """Accumulate ``other`` into this object (line sizes must agree)."""
+        if other.references and self.references and other.line_size != self.line_size:
+            raise ValueError(
+                f"cannot merge stats with line sizes {self.line_size} and {other.line_size}"
+            )
+        for spec in fields(self):
+            value = getattr(other, spec.name)
+            if isinstance(value, ClassCounts):
+                getattr(self, spec.name).merge(value)
+            elif spec.name != "line_size":
+                setattr(self, spec.name, getattr(self, spec.name) + value)
+        if other.references:
+            self.line_size = other.line_size
+
+    def snapshot(self) -> "CacheStats":
+        """Deep copy of the current counters."""
+        copy = CacheStats(line_size=self.line_size)
+        copy.merge(self)
+        return copy

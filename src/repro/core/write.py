@@ -1,0 +1,77 @@
+"""Write policies.
+
+The paper's standard configuration is **copy back with fetch on write**
+(write-allocate): a store to a non-resident line first fetches the line,
+then marks it dirty; memory is updated only when the dirty line is pushed
+out.  Write-through — memory updated on every store — is provided as the
+comparison point of Section 3.3, with and without allocation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["WriteStrategy", "WritePolicy", "COPY_BACK", "WRITE_THROUGH", "WRITE_THROUGH_ALLOCATE"]
+
+
+class WriteStrategy(enum.Enum):
+    """How stores reach main memory."""
+
+    #: Dirty lines are written back when pushed (paper's default).
+    COPY_BACK = "copy-back"
+    #: Every store is forwarded to memory immediately.
+    WRITE_THROUGH = "write-through"
+
+
+@dataclass(frozen=True, slots=True)
+class WritePolicy:
+    """A write strategy plus its allocation behaviour.
+
+    Args:
+        strategy: copy-back or write-through.
+        allocate_on_write: whether a store miss brings the line into the
+            cache ("fetch on write").  Copy-back caches almost always
+            allocate; the paper's does.  Write-through caches commonly do
+            not.
+        combining_bytes: width of a write-combining buffer for
+            write-through traffic, or 0 for none.  Section 3.3's exception:
+            "an implementation in which adjacent short writes are combined
+            into a longer write, as when two 2-byte writes are combined
+            into a four byte write to a memory with at least a 4 byte wide
+            interface" — consecutive stores falling in the same aligned
+            ``combining_bytes`` word cost one memory transaction.
+
+    Raises:
+        ValueError: for a copy-back policy without write allocation (a
+            store miss would have nowhere to put its data), a copy-back
+            policy with a combining buffer (combining applies to
+            write-through traffic), or a negative combining width.
+    """
+
+    strategy: WriteStrategy = WriteStrategy.COPY_BACK
+    allocate_on_write: bool = True
+    combining_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.strategy is WriteStrategy.COPY_BACK and not self.allocate_on_write:
+            raise ValueError("copy-back requires allocate_on_write (fetch on write)")
+        if self.combining_bytes < 0:
+            raise ValueError(
+                f"combining_bytes must be non-negative, got {self.combining_bytes}"
+            )
+        if self.strategy is WriteStrategy.COPY_BACK and self.combining_bytes:
+            raise ValueError("write combining applies to write-through only")
+
+    @property
+    def is_copy_back(self) -> bool:
+        """True for copy-back."""
+        return self.strategy is WriteStrategy.COPY_BACK
+
+
+#: Paper-standard policy: copy back, fetch on write.
+COPY_BACK = WritePolicy(WriteStrategy.COPY_BACK, allocate_on_write=True)
+#: Write-through without allocation (store misses bypass the cache).
+WRITE_THROUGH = WritePolicy(WriteStrategy.WRITE_THROUGH, allocate_on_write=False)
+#: Write-through with allocation.
+WRITE_THROUGH_ALLOCATE = WritePolicy(WriteStrategy.WRITE_THROUGH, allocate_on_write=True)

@@ -1,0 +1,170 @@
+"""Ready-made models of the real machines the paper discusses.
+
+Section 1.2 and Section 4.1 reference a handful of concrete cache designs;
+this module packages each as a :class:`MachineDescription` that can build a
+simulatable organization, so library users can evaluate a workload on "the
+VAX 11/780's cache" in one line::
+
+    from repro.machines import VAX_11_780
+    from repro.core import simulate
+
+    report = simulate(trace, VAX_11_780.build())
+
+The parameters come from the paper's text and its cited sources:
+
+* VAX 11/780 — 8K bytes, 8-byte lines, 2-way set associative ([Clar83]);
+* IBM 370/168 & Amdahl 470V class — 16K, 32-byte lines ([Mer74]/[Hard80]:
+  "These machines (IBM 165, 168, Amdahl 470V) all use 32 byte lines");
+* Fujitsu M380 — 64K, 64-byte lines ([Hat83]);
+* Synapse N+1 node — 16K per processor, 16-byte lines, M68000-based
+  ([Fran84]);
+* Motorola 68020 on-chip I-cache — 256 bytes, 4-byte blocks (Section 3.4);
+* Zilog Z80000 on-chip cache — 256 bytes, 16-byte sectors with 2/4/16-byte
+  sub-block fetches ([Alpe83]).
+
+Associativity and write policy are stated where the paper/its sources give
+them and chosen conventionally otherwise (noted per machine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .core.address import CacheGeometry
+from .core.fetch import FetchPolicy
+from .core.organization import CacheOrganization, SplitCache, UnifiedCache
+from .core.sector import SectorCacheOrganization, SectorGeometry
+from .core.write import COPY_BACK, WRITE_THROUGH, WritePolicy
+
+__all__ = [
+    "MachineDescription",
+    "VAX_11_780",
+    "IBM_370_168",
+    "FUJITSU_M380",
+    "SYNAPSE_N_PLUS_1",
+    "MC68020_ICACHE",
+    "Z80000",
+    "ALL_MACHINES",
+]
+
+
+@dataclass(frozen=True)
+class MachineDescription:
+    """A named, buildable cache configuration.
+
+    Attributes:
+        name: the machine's usual designation.
+        capacity: cache bytes.
+        line_size: line (or sub-block) size in bytes.
+        associativity: ways (None = fully associative in our model).
+        split: True for separate I/D caches (each half ``capacity/2``).
+        sector_size: if set, the cache is a sector design with this sector
+            size and ``line_size``-byte sub-blocks.
+        write_policy: the machine's write strategy.
+        fetch_policy: demand or prefetch.
+        notes: provenance / modelling caveats.
+    """
+
+    name: str
+    capacity: int
+    line_size: int
+    associativity: int | None = None
+    split: bool = False
+    sector_size: int | None = None
+    write_policy: WritePolicy = COPY_BACK
+    fetch_policy: FetchPolicy = FetchPolicy.DEMAND
+    notes: str = ""
+
+    def build(self) -> CacheOrganization:
+        """A fresh simulatable organization with this configuration."""
+        if self.sector_size is not None:
+            return SectorCacheOrganization(
+                SectorGeometry(self.capacity, self.sector_size, self.line_size),
+                copy_back=self.write_policy.is_copy_back,
+            )
+        if self.split:
+            geometry = CacheGeometry(
+                self.capacity // 2, self.line_size, self.associativity
+            )
+            return SplitCache(
+                geometry,
+                write_policy=self.write_policy,
+                fetch_policy=self.fetch_policy,
+            )
+        geometry = CacheGeometry(self.capacity, self.line_size, self.associativity)
+        return UnifiedCache(
+            geometry, write_policy=self.write_policy, fetch_policy=self.fetch_policy
+        )
+
+
+#: DEC VAX 11/780: [Clar83]'s machine, write-through.
+VAX_11_780 = MachineDescription(
+    name="DEC VAX 11/780",
+    capacity=8192,
+    line_size=8,
+    associativity=2,
+    write_policy=WRITE_THROUGH,
+    notes="8K, 8-byte lines, 2-way, write-through ([Clar83]).",
+)
+
+#: IBM 370/168-class mainframe cache ([Mer74], [Hard80] line size).
+IBM_370_168 = MachineDescription(
+    name="IBM 370/168",
+    capacity=16384,
+    line_size=32,
+    associativity=8,
+    notes="16K, 32-byte lines; 8-way chosen as the conventional "
+    "mainframe set size of the era.",
+)
+
+#: Fujitsu M380 ([Hat83]).
+FUJITSU_M380 = MachineDescription(
+    name="Fujitsu M380",
+    capacity=65536,
+    line_size=64,
+    associativity=16,
+    notes="64K, 64-byte lines ([Hat83]); associativity conventional.",
+)
+
+#: Synapse N+1 per-processor cache ([Fran84]).
+SYNAPSE_N_PLUS_1 = MachineDescription(
+    name="Synapse N+1 (per processor)",
+    capacity=16384,
+    line_size=16,
+    associativity=2,
+    notes="16K per processor, 16-byte lines, M68000-based ([Fran84]); "
+    "associativity conventional.",
+)
+
+#: Motorola 68020 on-chip instruction cache (Section 3.4).
+MC68020_ICACHE = MachineDescription(
+    name="Motorola 68020 I-cache",
+    capacity=256,
+    line_size=4,
+    associativity=1,
+    notes="256 bytes, 4-byte blocks, direct mapped ([Mac84]); feed it an "
+    "instruction-only stream (repro.trace.instruction_stream).",
+)
+
+#: Zilog Z80000 on-chip sector cache ([Alpe83]), 4-byte sub-block variant.
+Z80000 = MachineDescription(
+    name="Zilog Z80000",
+    capacity=256,
+    line_size=4,
+    sector_size=16,
+    notes="256 bytes of storage, 16-byte sectors, 4-byte sub-block "
+    "fetches (the middle of [Alpe83]'s 2/4/16 options).",
+)
+
+#: Every described machine, keyed by name.
+ALL_MACHINES: dict[str, MachineDescription] = {
+    machine.name: machine
+    for machine in (
+        VAX_11_780,
+        IBM_370_168,
+        FUJITSU_M380,
+        SYNAPSE_N_PLUS_1,
+        MC68020_ICACHE,
+        Z80000,
+    )
+}

@@ -1,0 +1,60 @@
+"""Trace infrastructure: records, containers, I/O, filters and analysis.
+
+This subpackage is Substrate B1 of the reproduction (see DESIGN.md): the
+machinery a 1985-style trace-driven simulation study needs for handling
+program address traces.
+"""
+
+from .record import AccessKind, MemoryAccess
+from .stream import Trace, TraceMetadata
+from .io import (
+    load_trace,
+    read_binary_trace,
+    read_text_trace,
+    save_trace,
+    write_binary_trace,
+    write_text_trace,
+)
+from .filters import (
+    concatenate,
+    data_stream,
+    instruction_stream,
+    interleave_round_robin,
+    merge_fetch_kinds,
+    relocate,
+    sample_time_windows,
+    select_kinds,
+    truncate,
+)
+from .characteristics import (
+    BRANCH_WINDOW_BYTES,
+    TraceCharacteristics,
+    branch_fraction,
+    characterize,
+)
+
+__all__ = [
+    "AccessKind",
+    "MemoryAccess",
+    "Trace",
+    "TraceMetadata",
+    "load_trace",
+    "save_trace",
+    "read_text_trace",
+    "write_text_trace",
+    "read_binary_trace",
+    "write_binary_trace",
+    "concatenate",
+    "data_stream",
+    "instruction_stream",
+    "interleave_round_robin",
+    "merge_fetch_kinds",
+    "relocate",
+    "sample_time_windows",
+    "select_kinds",
+    "truncate",
+    "BRANCH_WINDOW_BYTES",
+    "TraceCharacteristics",
+    "branch_fraction",
+    "characterize",
+]

@@ -1,0 +1,190 @@
+"""Reading and writing traces.
+
+Two on-disk formats are provided:
+
+* a **text format** modelled on the classic ``dinero`` trace format used by
+  trace-driven simulators of the paper's era: one reference per line,
+  ``<kind-letter> <hex-address> [size]``, with ``#`` comments and a small
+  metadata header; and
+* a **binary format** (``.rtrc``): a fixed header plus three packed numpy
+  arrays, for fast replay of long traces.
+
+Both round-trip losslessly through :class:`repro.trace.stream.Trace`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from dataclasses import asdict
+from pathlib import Path
+from typing import IO
+
+import numpy as np
+
+from .record import AccessKind
+from .stream import Trace, TraceMetadata
+
+__all__ = [
+    "write_text_trace",
+    "read_text_trace",
+    "write_binary_trace",
+    "read_binary_trace",
+    "load_trace",
+    "save_trace",
+]
+
+_MAGIC = b"RTRC"
+_VERSION = 1
+_HEADER = struct.Struct("<4sHHQI")  # magic, version, reserved, count, meta length
+
+
+def write_text_trace(trace: Trace, destination: str | Path | IO[str]) -> None:
+    """Write ``trace`` in the dinero-style text format.
+
+    Metadata is preserved in ``#:`` header comments so that
+    :func:`read_text_trace` can restore it.
+    """
+    own, stream = _open_text(destination, "w")
+    try:
+        meta = asdict(trace.metadata)
+        stream.write(f"#: metadata {json.dumps(meta, sort_keys=True)}\n")
+        for kind, address, size in zip(
+            trace.kinds.tolist(), trace.addresses.tolist(), trace.sizes.tolist()
+        ):
+            stream.write(f"{AccessKind(kind).mnemonic} {address:x} {size}\n")
+    finally:
+        if own:
+            stream.close()
+
+
+def read_text_trace(source: str | Path | IO[str]) -> Trace:
+    """Read a trace written by :func:`write_text_trace`.
+
+    Plain dinero traces (no header, optional size column) are accepted too;
+    missing sizes default to 4 bytes.
+
+    Raises:
+        ValueError: on malformed lines.
+    """
+    own, stream = _open_text(source, "r")
+    try:
+        metadata = TraceMetadata()
+        kinds: list[int] = []
+        addresses: list[int] = []
+        sizes: list[int] = []
+        for lineno, raw in enumerate(stream, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if line.startswith("#: metadata "):
+                    payload = json.loads(line[len("#: metadata "):])
+                    metadata = TraceMetadata(**payload)
+                continue
+            fields = line.split()
+            if len(fields) not in (2, 3):
+                raise ValueError(f"line {lineno}: expected 'kind address [size]', got {line!r}")
+            try:
+                kind = AccessKind.from_mnemonic(fields[0])
+                address = int(fields[1], 16)
+                size = int(fields[2]) if len(fields) == 3 else 4
+            except ValueError as exc:
+                raise ValueError(f"line {lineno}: {exc}") from None
+            kinds.append(kind)
+            addresses.append(address)
+            sizes.append(size)
+        return Trace(kinds, addresses, sizes, metadata)
+    finally:
+        if own:
+            stream.close()
+
+
+def write_binary_trace(trace: Trace, destination: str | Path | IO[bytes]) -> None:
+    """Write ``trace`` in the compact binary ``.rtrc`` format."""
+    own, stream = _open_binary(destination, "wb")
+    try:
+        meta = json.dumps(asdict(trace.metadata), sort_keys=True).encode("utf-8")
+        stream.write(_HEADER.pack(_MAGIC, _VERSION, 0, len(trace), len(meta)))
+        stream.write(meta)
+        stream.write(trace.kinds.astype("<i1").tobytes())
+        stream.write(trace.addresses.astype("<i8").tobytes())
+        stream.write(trace.sizes.astype("<i4").tobytes())
+    finally:
+        if own:
+            stream.close()
+
+
+def read_binary_trace(source: str | Path | IO[bytes]) -> Trace:
+    """Read a trace written by :func:`write_binary_trace`.
+
+    Raises:
+        ValueError: if the header is missing, the version is unsupported, or
+            the file is truncated.
+    """
+    own, stream = _open_binary(source, "rb")
+    try:
+        header = stream.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise ValueError("truncated trace file: short header")
+        magic, version, _reserved, count, meta_len = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise ValueError(f"not a binary trace file (magic {magic!r})")
+        if version != _VERSION:
+            raise ValueError(f"unsupported trace file version {version}")
+        meta_raw = stream.read(meta_len)
+        if len(meta_raw) != meta_len:
+            raise ValueError("truncated trace file: short metadata")
+        metadata = TraceMetadata(**json.loads(meta_raw.decode("utf-8")))
+        kinds = _read_array(stream, "<i1", count)
+        addresses = _read_array(stream, "<i8", count)
+        sizes = _read_array(stream, "<i4", count)
+        return Trace(kinds, addresses, sizes, metadata)
+    finally:
+        if own:
+            stream.close()
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Save a trace, choosing the format from the file suffix.
+
+    ``.rtrc`` selects the binary format; anything else gets the text format.
+    """
+    path = Path(path)
+    if path.suffix == ".rtrc":
+        write_binary_trace(trace, path)
+    else:
+        write_text_trace(trace, path)
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Load a trace saved by :func:`save_trace`."""
+    path = Path(path)
+    if path.suffix == ".rtrc":
+        return read_binary_trace(path)
+    return read_text_trace(path)
+
+
+def _read_array(stream: IO[bytes], dtype: str, count: int) -> np.ndarray:
+    expected = np.dtype(dtype).itemsize * count
+    raw = stream.read(expected)
+    if len(raw) != expected:
+        raise ValueError("truncated trace file: short array section")
+    return np.frombuffer(raw, dtype=dtype).copy()
+
+
+def _open_text(target, mode: str) -> tuple[bool, IO[str]]:
+    if isinstance(target, (str, Path)):
+        return True, open(target, mode, encoding="utf-8")
+    if isinstance(target, io.TextIOBase) or hasattr(target, "write") or hasattr(target, "read"):
+        return False, target
+    raise TypeError(f"expected a path or text stream, got {type(target).__name__}")
+
+
+def _open_binary(target, mode: str) -> tuple[bool, IO[bytes]]:
+    if isinstance(target, (str, Path)):
+        return True, open(target, mode)
+    if hasattr(target, "write") or hasattr(target, "read"):
+        return False, target
+    raise TypeError(f"expected a path or binary stream, got {type(target).__name__}")

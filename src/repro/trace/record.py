@@ -1,0 +1,126 @@
+"""Memory-reference records: the atoms of a program address trace.
+
+A *program address trace* (paper, Section 1.1) is the sequence of virtual
+addresses touched by a running program, each tagged with the kind of access.
+The paper distinguishes three kinds — instruction fetches, data reads and data
+writes — and notes that some trace sources (the hardware-monitored M68000
+traces) cannot tell instruction fetches from data reads; those collapse both
+into "fetch".  We model that with :attr:`AccessKind.IFETCH`,
+:attr:`AccessKind.READ`, :attr:`AccessKind.WRITE` plus the degenerate
+:attr:`AccessKind.FETCH` for monitor-style traces.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["AccessKind", "MemoryAccess"]
+
+
+class AccessKind(enum.IntEnum):
+    """Classification of a single memory reference.
+
+    The integer values are part of the binary trace format
+    (:mod:`repro.trace.io`) and must not be renumbered.
+    """
+
+    #: An instruction fetch.
+    IFETCH = 0
+    #: A data read (load).
+    READ = 1
+    #: A data write (store).
+    WRITE = 2
+    #: A read whose class is unknown: either an instruction fetch or a data
+    #: read.  Produced by hardware monitors that only see the bus direction,
+    #: like the Signetics M68000 monitor used in the paper.
+    FETCH = 3
+
+    @property
+    def is_write(self) -> bool:
+        """True for stores."""
+        return self is AccessKind.WRITE
+
+    @property
+    def is_instruction(self) -> bool:
+        """True for references that are definitely instruction fetches."""
+        return self is AccessKind.IFETCH
+
+    @property
+    def is_data(self) -> bool:
+        """True for references that are definitely data (read or write)."""
+        return self in (AccessKind.READ, AccessKind.WRITE)
+
+    @property
+    def mnemonic(self) -> str:
+        """Single-letter code used by the text trace format."""
+        return _MNEMONICS[self]
+
+    @classmethod
+    def from_mnemonic(cls, letter: str) -> "AccessKind":
+        """Inverse of :attr:`mnemonic`.
+
+        Raises:
+            ValueError: if ``letter`` is not one of ``i r w f``.
+        """
+        try:
+            return _FROM_MNEMONIC[letter]
+        except KeyError:
+            raise ValueError(f"unknown access-kind mnemonic {letter!r}") from None
+
+
+_MNEMONICS = {
+    AccessKind.IFETCH: "i",
+    AccessKind.READ: "r",
+    AccessKind.WRITE: "w",
+    AccessKind.FETCH: "f",
+}
+_FROM_MNEMONIC = {v: k for k, v in _MNEMONICS.items()}
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryAccess:
+    """One memory reference in a trace.
+
+    Attributes:
+        kind: what sort of reference this is.
+        address: byte address of the first byte touched.  Addresses are
+            virtual, non-negative, and unbounded (the simulator masks them
+            down to line granularity; nothing in this package assumes a
+            particular word size).
+        size: number of bytes touched.  The paper's traces reflect the memory
+            *interface* width of each machine (Section 1.1), e.g. one 60-bit
+            word per CDC 6400 data reference; we record the byte count so the
+            interface model can be made explicit rather than baked in.
+    """
+
+    kind: AccessKind
+    address: int
+    size: int = 4
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError(f"address must be non-negative, got {self.address}")
+        if self.size <= 0:
+            raise ValueError(f"size must be positive, got {self.size}")
+
+    @property
+    def last_byte(self) -> int:
+        """Address of the final byte touched by this reference."""
+        return self.address + self.size - 1
+
+    def lines(self, line_size: int) -> range:
+        """Line numbers (``address // line_size``) this reference touches.
+
+        A reference that straddles a line boundary touches more than one
+        line; real caches treat that as multiple accesses and so does
+        :class:`repro.core.cache.Cache`.
+        """
+        if line_size <= 0:
+            raise ValueError(f"line_size must be positive, got {line_size}")
+        first = self.address // line_size
+        last = self.last_byte // line_size
+        return range(first, last + 1)
+
+    def __str__(self) -> str:
+        return f"{self.kind.mnemonic} {self.address:#x} {self.size}"

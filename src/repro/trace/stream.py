@@ -1,0 +1,223 @@
+"""Trace containers: immutable, array-backed sequences of memory references.
+
+The experiments in the paper run the same trace through many cache
+configurations, so traces are materialized once (as compact numpy arrays) and
+replayed cheaply.  A :class:`Trace` is immutable; the transformation helpers
+in :mod:`repro.trace.filters` return new traces.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from .record import AccessKind, MemoryAccess
+
+__all__ = ["TraceMetadata", "Trace"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceMetadata:
+    """Descriptive information carried alongside a trace.
+
+    Mirrors the way the paper identifies its traces (Section 2): a short
+    name (e.g. ``"WATFIV"``), the machine architecture the trace was taken
+    from (e.g. ``"IBM 360/91"``), the source language of the traced program,
+    and free-form notes about what the program does.
+    """
+
+    name: str = "anonymous"
+    architecture: str = "unknown"
+    language: str = "unknown"
+    description: str = ""
+    #: Arbitrary extra key/value pairs (e.g. generator parameters).
+    extra: dict = field(default_factory=dict)
+
+
+class Trace(Sequence[MemoryAccess]):
+    """An immutable program address trace.
+
+    Internally the trace is three parallel numpy arrays (kind, address,
+    size), which keeps a 250 000-reference trace — the paper's standard
+    length — around 3.5 MB and makes whole-trace statistics vectorizable.
+
+    Args:
+        kinds: integer array of :class:`~repro.trace.record.AccessKind`
+            values.
+        addresses: integer array of byte addresses.
+        sizes: integer array of byte counts per access.
+        metadata: optional descriptive metadata.
+
+    Raises:
+        ValueError: if the arrays disagree in length or contain invalid
+            values (negative addresses, non-positive sizes, unknown kinds).
+    """
+
+    __slots__ = ("_kinds", "_addresses", "_sizes", "metadata")
+
+    def __init__(
+        self,
+        kinds: np.ndarray | Sequence[int],
+        addresses: np.ndarray | Sequence[int],
+        sizes: np.ndarray | Sequence[int],
+        metadata: TraceMetadata | None = None,
+    ) -> None:
+        kinds = np.asarray(kinds, dtype=np.int8)
+        addresses = np.asarray(addresses, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.int32)
+        if not (len(kinds) == len(addresses) == len(sizes)):
+            raise ValueError(
+                "kind/address/size arrays must be the same length, got "
+                f"{len(kinds)}/{len(addresses)}/{len(sizes)}"
+            )
+        if len(kinds) and (kinds.min() < 0 or kinds.max() > max(AccessKind)):
+            raise ValueError("kinds array contains values outside AccessKind")
+        if len(addresses) and addresses.min() < 0:
+            raise ValueError("addresses must be non-negative")
+        if len(sizes) and sizes.min() <= 0:
+            raise ValueError("sizes must be positive")
+        for array in (kinds, addresses, sizes):
+            array.setflags(write=False)
+        self._kinds = kinds
+        self._addresses = addresses
+        self._sizes = sizes
+        self.metadata = metadata or TraceMetadata()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_accesses(
+        cls, accesses: Iterable[MemoryAccess], metadata: TraceMetadata | None = None
+    ) -> "Trace":
+        """Materialize a trace from an iterable of accesses."""
+        accesses = list(accesses)
+        return cls(
+            kinds=[a.kind for a in accesses],
+            addresses=[a.address for a in accesses],
+            sizes=[a.size for a in accesses],
+            metadata=metadata,
+        )
+
+    @classmethod
+    def empty(cls, metadata: TraceMetadata | None = None) -> "Trace":
+        """A zero-length trace."""
+        return cls([], [], [], metadata)
+
+    def with_metadata(self, **changes) -> "Trace":
+        """Copy of this trace with metadata fields replaced."""
+        return Trace(
+            self._kinds,
+            self._addresses,
+            self._sizes,
+            replace(self.metadata, **changes),
+        )
+
+    # -- array views -------------------------------------------------------
+
+    @property
+    def kinds(self) -> np.ndarray:
+        """Read-only int8 array of :class:`AccessKind` values."""
+        return self._kinds
+
+    @property
+    def addresses(self) -> np.ndarray:
+        """Read-only int64 array of byte addresses."""
+        return self._addresses
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Read-only int32 array of access sizes in bytes."""
+        return self._sizes
+
+    @property
+    def name(self) -> str:
+        """Shorthand for ``metadata.name``."""
+        return self.metadata.name
+
+    # -- sequence protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._kinds)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        make, kind_of = MemoryAccess, AccessKind
+        for k, a, s in zip(
+            self._kinds.tolist(), self._addresses.tolist(), self._sizes.tolist()
+        ):
+            yield make(kind_of(k), a, s)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Trace(
+                self._kinds[index],
+                self._addresses[index],
+                self._sizes[index],
+                self.metadata,
+            )
+        return MemoryAccess(
+            AccessKind(int(self._kinds[index])),
+            int(self._addresses[index]),
+            int(self._sizes[index]),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return (
+            np.array_equal(self._kinds, other._kinds)
+            and np.array_equal(self._addresses, other._addresses)
+            and np.array_equal(self._sizes, other._sizes)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing only
+        return object.__hash__(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace(name={self.metadata.name!r}, length={len(self)}, "
+            f"architecture={self.metadata.architecture!r})"
+        )
+
+    # -- statistics ----------------------------------------------------------
+
+    def count(self, kind: AccessKind) -> int:
+        """Number of references of the given kind."""
+        return int(np.count_nonzero(self._kinds == kind))
+
+    def kind_fractions(self) -> dict[AccessKind, float]:
+        """Fraction of references of each kind (empty trace → all zeros)."""
+        total = len(self) or 1
+        return {kind: self.count(kind) / total for kind in AccessKind}
+
+    def footprint_lines(self, line_size: int, kinds: Iterable[AccessKind] | None = None) -> int:
+        """Number of distinct ``line_size``-byte lines touched.
+
+        This is the paper's "#lines"/"#Dlines" statistic (Table 2) when
+        restricted to instruction or data references via ``kinds``.
+        Accesses that straddle a line boundary count both lines.
+        """
+        if line_size <= 0 or line_size & (line_size - 1):
+            raise ValueError(f"line_size must be a positive power of two, got {line_size}")
+        if kinds is None:
+            mask = np.ones(len(self), dtype=bool)
+        else:
+            mask = np.isin(self._kinds, [int(k) for k in kinds])
+        if not mask.any():
+            return 0
+        first = self._addresses[mask] // line_size
+        last = (self._addresses[mask] + self._sizes[mask] - 1) // line_size
+        pieces = [first, last]
+        wide = last - first > 1  # access spans interior lines too
+        if wide.any():
+            pieces.extend(
+                np.arange(lo + 1, hi)
+                for lo, hi in zip(first[wide].tolist(), last[wide].tolist())
+            )
+        lines = np.unique(np.concatenate(pieces))
+        return int(len(lines))
+
+    def address_space_bytes(self, line_size: int = 16) -> int:
+        """Total bytes in all distinct lines touched (Table 2's "Aspace")."""
+        return self.footprint_lines(line_size) * line_size

@@ -1,0 +1,41 @@
+"""Synthetic workload models (Substrate B of the reproduction).
+
+The paper's 49 traces are proprietary and lost; this subpackage replaces
+them with a parametric program-behaviour model (code engine + data engine +
+memory-interface model) and a catalog of 49 named configurations calibrated
+to every statistic the paper publishes.  See DESIGN.md for the substitution
+argument.
+"""
+
+from . import catalog
+from .architectures import ARCHITECTURES, ArchitectureProfile, make_parameters, profile
+from .code import CODE_BASE, CodeEngine
+from .data import DATA_BASE, STACK_TOP, DataEngine
+from .generator import SyntheticWorkload, generate_trace
+from .interface import InstructionInterface
+from .parameters import CodeModel, DataModel, WorkloadParameters
+from .randomness import BatchedRandom
+from .validation import AnchorCheck, CalibrationReport, validate_catalog
+
+__all__ = [
+    "catalog",
+    "ARCHITECTURES",
+    "ArchitectureProfile",
+    "make_parameters",
+    "profile",
+    "CODE_BASE",
+    "CodeEngine",
+    "DATA_BASE",
+    "STACK_TOP",
+    "DataEngine",
+    "SyntheticWorkload",
+    "generate_trace",
+    "InstructionInterface",
+    "CodeModel",
+    "DataModel",
+    "WorkloadParameters",
+    "BatchedRandom",
+    "AnchorCheck",
+    "CalibrationReport",
+    "validate_catalog",
+]

@@ -1,0 +1,242 @@
+"""The instruction-stream engine.
+
+Models a program's control flow with the structures that matter to a cache:
+
+* a static **code layout** — ``procedure_count`` procedures of random sizes
+  packed contiguously into ``footprint_bytes`` of address space;
+* **sequential execution** within a procedure;
+* **loops** — entered with a per-instruction probability, with geometric
+  body lengths and iteration counts (the iteration count is the main code
+  locality knob: hot numeric kernels spin long, operating-system code
+  barely repeats);
+* **calls and returns** over an explicit stack, with callees drawn from a
+  skewed (hot/cold) procedure distribution;
+* **short forward skips** (if/else), most of which the paper's 8-byte
+  branch heuristic deliberately misses.
+
+The engine emits one executed instruction per :meth:`CodeEngine.step`; the
+:class:`~repro.workloads.interface.InstructionInterface` turns those into
+trace references.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .parameters import CodeModel
+from .randomness import BatchedRandom
+
+__all__ = ["CodeEngine", "EVENT_NONE", "EVENT_CALL", "EVENT_RETURN", "CODE_BASE"]
+
+#: Base virtual address of the code region.
+CODE_BASE = 0x0001_0000
+
+EVENT_NONE = 0
+EVENT_CALL = 1
+EVENT_RETURN = 2
+
+_MAX_CALL_DEPTH = 24
+
+#: Mean instructions executed by a loop-called helper before returning.
+_MEAN_HELPER_LENGTH = 10.0
+
+
+class CodeEngine:
+    """Stateful instruction-address generator.
+
+    Args:
+        model: the code-behaviour parameters.
+        rng: random source (owned by the caller for determinism).
+    """
+
+    def __init__(self, model: CodeModel, rng: BatchedRandom) -> None:
+        self.model = model
+        self._rng = rng
+        self._entries, self._sizes = self._layout(model, rng)
+        self._cumulative = self._procedure_weights(model, rng)
+        # rank -> procedure map; the phase offset rotates through it.
+        self._rank_map = rng.generator.permutation(model.procedure_count).tolist()
+        self._phase_offset = 0
+        self._instructions = 0
+        # Execution state.
+        self._proc = self._pick_procedure()
+        self._pc = self._entries[self._proc]
+        # (return pc, procedure, suspended-loop state or None,
+        #  caller's helper countdown or None)
+        self._stack: list[tuple[int, int, tuple | None, int | None]] = []
+        # Countdown while executing a loop-called helper (None otherwise):
+        # helpers are short, returning after a geometric number of
+        # instructions rather than running to their procedure's end.
+        self._helper_left: int | None = None
+        self._looping = False
+        self._loop_start = 0
+        self._loop_body = 0
+        self._body_left = 0
+        self._iters_left = 0
+
+    # -- construction helpers -------------------------------------------------
+
+    @staticmethod
+    def _layout(model: CodeModel, rng: BatchedRandom) -> tuple[list[int], list[int]]:
+        """Pack procedures of lognormal-ish random sizes into the footprint."""
+        count = model.procedure_count
+        raw = rng.generator.lognormal(mean=0.0, sigma=0.6, size=count)
+        instruction = model.instruction_bytes
+        min_size = 4 * instruction
+        scale = model.footprint_bytes / float(raw.sum())
+        sizes = np.maximum((raw * scale).astype(np.int64), min_size)
+        # Round sizes to whole instructions.
+        sizes = (sizes // instruction) * instruction
+        entries = CODE_BASE + np.concatenate([[0], np.cumsum(sizes[:-1])])
+        return entries.tolist(), sizes.tolist()
+
+    @staticmethod
+    def _procedure_weights(model: CodeModel, rng: BatchedRandom) -> np.ndarray:
+        """Cumulative call-target distribution over *ranks* (0 hottest)."""
+        ranks = np.arange(1, model.procedure_count + 1, dtype=np.float64)
+        weights = ranks ** (-model.procedure_skew)
+        return np.cumsum(weights / weights.sum())
+
+    # -- stepping --------------------------------------------------------------
+
+    def step(self) -> tuple[int, int, int]:
+        """Execute one instruction.
+
+        Returns:
+            ``(address, length, event)`` — the instruction's byte address
+            and length, plus :data:`EVENT_CALL`/:data:`EVENT_RETURN` when
+            this instruction transferred control across procedures (used to
+            couple the data engine's stack component).
+        """
+        model = self.model
+        length = model.instruction_bytes
+        address = self._pc
+        event = EVENT_NONE
+        rng = self._rng
+
+        self._instructions += 1
+        if model.phase_instructions and self._instructions % model.phase_instructions == 0:
+            self._phase_offset += 1  # the hot set creeps through the code
+
+        if self._helper_left is not None:
+            self._helper_left -= 1
+            if self._helper_left <= 0 and self._stack:
+                # The loop-called helper is done; return to the loop.
+                self._pc = address + length  # fall through, then return
+                self._return_from_call()
+                return address, length, EVENT_RETURN
+
+        if self._looping:
+            # Advance the loop accounting for this body instruction.
+            self._body_left -= 1
+            if self._body_left <= 0:
+                self._iters_left -= 1
+                if self._iters_left > 0:
+                    next_pc = self._loop_start  # backward taken branch
+                    self._body_left = self._loop_body
+                    still_looping = True
+                else:
+                    next_pc = address + length
+                    still_looping = False
+            else:
+                next_pc = address + length
+                still_looping = True
+            # Loop bodies call helper procedures: suspend the loop, resume
+            # it (with its saved state) when the callee returns.
+            if (
+                model.loop_call_probability
+                and len(self._stack) < _MAX_CALL_DEPTH
+                and rng.uniform() < model.loop_call_probability
+            ):
+                saved = (
+                    (self._loop_start, self._loop_body,
+                     self._body_left, self._iters_left)
+                    if still_looping
+                    else None
+                )
+                self._stack.append((next_pc, self._proc, saved, self._helper_left))
+                self._helper_left = 2 + rng.geometric(_MEAN_HELPER_LENGTH)
+                self._looping = False
+                self._proc = self._pick_procedure()
+                self._pc = self._entries[self._proc]
+                event = EVENT_CALL
+            else:
+                self._looping = still_looping
+                self._pc = next_pc
+        else:
+            u = rng.uniform()
+            p_loop = model.loop_start_probability
+            p_call = model.call_probability
+            p_skip = model.short_jump_probability
+            if u < p_loop:
+                body = rng.geometric(model.mean_loop_body)
+                iters = rng.geometric(model.mean_loop_iterations)
+                if iters > 1:
+                    # The current instruction is the first of pass 1.
+                    self._looping = True
+                    self._loop_start = address
+                    self._loop_body = body
+                    if body == 1:
+                        # Pass 1 is already complete; branch straight back.
+                        self._iters_left = iters - 1
+                        self._body_left = body
+                        self._pc = address
+                    else:
+                        self._iters_left = iters
+                        self._body_left = body - 1
+                        self._pc = address + length
+                else:
+                    self._pc = address + length
+            elif u < p_loop + p_call and len(self._stack) < _MAX_CALL_DEPTH:
+                self._stack.append((address + length, self._proc, None,
+                                    self._helper_left))
+                self._helper_left = None
+                self._proc = self._pick_procedure()
+                self._pc = self._entries[self._proc]
+                event = EVENT_CALL
+            elif u < p_loop + 2 * p_call and self._stack:
+                self._return_from_call()
+                event = EVENT_RETURN
+            elif u < p_loop + 2 * p_call + p_skip:
+                skip = 2 + rng.integer(3)  # skip 2-4 instructions
+                self._pc = address + length * skip
+            else:
+                self._pc = address + length
+
+        # Falling off the end of the procedure: return, or start elsewhere.
+        end = self._entries[self._proc] + self._sizes[self._proc]
+        if self._pc >= end:
+            self._looping = False
+            if self._stack:
+                self._return_from_call()
+                event = EVENT_RETURN
+            else:
+                self._proc = self._pick_procedure()
+                self._pc = self._entries[self._proc]
+        return address, length, event
+
+    def _return_from_call(self) -> None:
+        """Pop a frame, resuming any loop suspended by a loop-body call."""
+        self._pc, self._proc, saved, self._helper_left = self._stack.pop()
+        if saved is None:
+            self._looping = False
+        else:
+            self._looping = True
+            (self._loop_start, self._loop_body,
+             self._body_left, self._iters_left) = saved
+
+    def _pick_procedure(self) -> int:
+        u = self._rng.uniform()
+        rank = int(np.searchsorted(self._cumulative, u, side="right"))
+        count = self.model.procedure_count
+        return self._rank_map[(rank + self._phase_offset) % count]
+
+    @property
+    def call_depth(self) -> int:
+        """Current call-stack depth."""
+        return len(self._stack)
+
+    @property
+    def footprint_end(self) -> int:
+        """First byte past the laid-out code."""
+        return self._entries[-1] + self._sizes[-1]

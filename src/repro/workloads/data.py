@@ -1,0 +1,224 @@
+"""The data-stream engine.
+
+Generates data read/write addresses as a mixture of three components whose
+weights are the workload's data-locality parameters
+(:class:`~repro.workloads.parameters.DataModel`):
+
+* **stack** — references close under the stack pointer, which moves with
+  the code engine's calls and returns;
+* **sequential** — a handful of concurrent forward scans over a fixed set
+  of array objects; arrays are picked with the working-set skew and
+  re-walked from the start, so hot arrays are re-scanned (hitting after
+  their first pass) while cold arrays supply compulsory misses.  This
+  component is what sequential data prefetching exploits;
+* **working set** — the classic *LRU-stack model* of program behaviour
+  (Spirn & Denning): each reference picks a position in the program's own
+  LRU stack of data lines, with ``P(position = k)`` proportional to
+  ``k**-theta``.  The exponent ``theta`` (the ``working_set_skew``
+  parameter, > 1) directly controls how fast the miss ratio falls with
+  cache size — the paper's observation that doubling cache size cuts the
+  miss ratio by a roughly constant factor is exactly a power-law stack
+  model.  Positions beyond the current stack touch a *new* line, so the
+  footprint grows organically toward ``footprint_bytes`` and supplies the
+  compulsory misses that dominate the large-cache end of the curves.
+
+Working-set lines are *scattered* via a fixed random permutation so that
+temporal locality does not masquerade as spatial locality — otherwise hot
+lines would be adjacent and sequential prefetch would look spuriously good
+on them.
+"""
+
+from __future__ import annotations
+
+from .parameters import DataModel
+from .randomness import BatchedRandom
+
+__all__ = ["DataEngine", "DATA_BASE", "STACK_TOP"]
+
+#: Base virtual address of the data region.
+DATA_BASE = 0x0100_0000
+#: Initial stack pointer; the stack grows downward from here.
+STACK_TOP = 0x0200_0000
+
+_LINE = 16  # granularity of the working-set permutation
+_MAX_FRAMES = 64
+
+
+class DataEngine:
+    """Stateful data-address generator.
+
+    Args:
+        model: the data-behaviour parameters.
+        rng: random source (owned by the caller for determinism).
+    """
+
+    def __init__(self, model: DataModel, rng: BatchedRandom) -> None:
+        self.model = model
+        self._rng = rng
+        lines = max(1, model.footprint_bytes // _LINE)
+        self._num_lines = lines
+        self._permutation = rng.generator.permutation(lines).tolist()
+        # LRU-stack model state: the program's own stack of data lines
+        # (most recent at the END, so hot positions index from the back),
+        # the allocation pointer into the scatter permutation, and the pool
+        # of retired ("cold again") lines fed back by working-set turnover.
+        self._stack_model: list[int] = []
+        self._allocated = 0
+        self._cold_pool: list[int] = []
+        self._theta = model.working_set_skew
+        self._pareto_power = -1.0 / max(self._theta - 1.0, 1e-6)
+        # Array objects for the sequential component: (start, elements).
+        self._arrays: list[tuple[int, int]] = []
+        for _ in range(model.sequential_arrays):
+            elements = max(2, rng.geometric(model.mean_sequential_run))
+            span = elements * model.access_bytes
+            top = max(1, model.footprint_bytes - span)
+            start = DATA_BASE + (rng.integer(top) // _LINE) * _LINE
+            self._arrays.append((start, elements))
+        # Sequential scan streams: [position, elements remaining].
+        self._streams: list[list[int]] = []
+        for _ in range(model.sequential_streams):
+            start, elements = self._pick_array()
+            self._streams.append([start, elements])
+        # Stack state.
+        self._sp = STACK_TOP
+        self._frames: list[int] = []
+        # Working-set turnover clock.
+        self._references = 0
+        # Write model: only "writable" lines take stores; the conditional
+        # write probability keeps the overall store share on target.  The
+        # effective writable share counts the stack component, which is
+        # writable by its nature.
+        self._writable_share = model.writable_fraction
+        effective = model.stack_fraction + (
+            1.0 - model.stack_fraction
+        ) * model.writable_fraction
+        self._write_given_writable = min(1.0, model.write_fraction / effective)
+
+    # -- coupling with the code engine ----------------------------------------
+
+    def on_call(self) -> None:
+        """Push a stack frame (the code engine performed a call)."""
+        if len(self._frames) >= _MAX_FRAMES:
+            return
+        frame = 16 * (1 + self._rng.integer(4))  # 16..64 bytes
+        self._frames.append(frame)
+        self._sp -= frame
+
+    def on_return(self) -> None:
+        """Pop a stack frame (the code engine performed a return)."""
+        if self._frames:
+            self._sp += self._frames.pop()
+
+    # -- address generation -----------------------------------------------------
+
+    def next_reference(self) -> tuple[int, bool]:
+        """One data reference.
+
+        Returns:
+            ``(address, is_write)``.
+        """
+        model = self.model
+        rng = self._rng
+        self._references += 1
+        if model.phase_interval and self._references % model.phase_interval == 0:
+            self._retire_cold_lines()
+        u = rng.uniform()
+        if u < model.stack_fraction:
+            address = self._stack_address()
+            writable = True  # stacks are written by their nature
+        elif u < model.stack_fraction + model.sequential_fraction:
+            address = self._sequential_address()
+            writable = self._is_writable(address)
+        else:
+            address = self._working_set_address()
+            writable = self._is_writable(address)
+        is_write = writable and rng.uniform() < self._write_given_writable
+        return address, is_write
+
+    def _is_writable(self, address: int) -> bool:
+        """Deterministic per-line writability (a cheap hash of the line)."""
+        line = address // _LINE
+        return (line * 2654435761 >> 16) % 1000 < 1000 * self._writable_share
+
+    # -- components --------------------------------------------------------------
+
+    def _stack_address(self) -> int:
+        window = self.model.stack_window_bytes
+        offset = self._rng.integer(window)
+        size = self.model.access_bytes
+        return self._sp + (offset // size) * size
+
+    def _sequential_address(self) -> int:
+        streams = self._streams
+        stream = streams[self._rng.integer(len(streams))]
+        address = stream[0]
+        stream[0] += self.model.access_bytes
+        stream[1] -= 1
+        if stream[1] <= 0:
+            stream[0], stream[1] = self._pick_array()
+        return address
+
+    def _pick_array(self) -> tuple[int, int]:
+        """Array to scan next: rank-Zipf choice, walked from its start."""
+        u = self._rng.uniform()
+        if u <= 0.0:
+            u = 1e-12
+        rank = int(u**self._pareto_power)  # >= 1, same tail as the stack model
+        index = min(len(self._arrays) - 1, rank - 1)
+        return self._arrays[index]
+
+    def _working_set_address(self) -> int:
+        # LRU-stack model: draw a stack position k with P(k) ~ k**-theta
+        # (discretized Pareto), reference the k-th most recent line and
+        # move it to the top.  k beyond the stack touches a new line,
+        # growing the footprint; once the footprint is exhausted, deep
+        # draws clip to the least recently used line.
+        u = self._rng.uniform()
+        if u <= 0.0:
+            u = 1e-12
+        position = int(u**self._pareto_power)  # >= 1
+        stack = self._stack_model
+        depth = len(stack)
+        if position <= depth:
+            line = stack.pop(depth - position)
+            stack.append(line)
+        elif self._allocated < self._num_lines:
+            line = self._permutation[self._allocated]
+            self._allocated += 1
+            stack.append(line)
+        elif self._cold_pool:
+            line = self._cold_pool.pop(0)
+            stack.append(line)
+        elif depth:
+            line = stack.pop(0)
+            stack.append(line)
+        else:  # degenerate: one-line footprint
+            line = self._permutation[0]
+            stack.append(line)
+        size = self.model.access_bytes
+        slots = max(1, _LINE // size)
+        return DATA_BASE + line * _LINE + self._rng.integer(slots) * size
+
+    def _retire_cold_lines(self, batch: int = 2) -> None:
+        """Working-set turnover: the least recent lines go cold again.
+
+        Retired lines return to the allocation pool, so later deep stack
+        draws re-touch them the way a program revisits long-cold data.
+        This sustains steady-state churn once the footprint has saturated.
+        """
+        stack = self._stack_model
+        take = min(batch, max(0, len(stack) - 1))
+        if take:
+            self._cold_pool.extend(stack[:take])
+            del stack[:take]
+
+    @property
+    def stack_pointer(self) -> int:
+        """Current stack-pointer value."""
+        return self._sp
+
+    @property
+    def working_set_lines(self) -> int:
+        """Distinct working-set lines touched so far."""
+        return self._allocated

@@ -1,0 +1,254 @@
+"""Workload parameter schema.
+
+The paper's central claim is that cache results are driven by the workload's
+*statistics*: the reference mix, the code and data footprints, branch
+frequency, instruction length, memory-interface width and locality quality
+(Sections 2-3, Table 2).  The synthetic workload model therefore exposes
+exactly those statistics as parameters; each of the 49 catalog traces is a
+:class:`WorkloadParameters` instance calibrated to the paper's published
+values for that trace (see ``repro/workloads/catalog.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["CodeModel", "DataModel", "WorkloadParameters"]
+
+
+@dataclass(frozen=True, slots=True)
+class CodeModel:
+    """Instruction-stream behaviour of a synthetic program.
+
+    Attributes:
+        footprint_bytes: static code size touched during the trace — drives
+            Table 2's "#lines" column and the compulsory-miss tail.
+        instruction_bytes: mean instruction length in bytes (VAX ~3-4,
+            370 ~4, Z8000/M68000 ~2, CDC 6400 one 15/30-bit parcel).
+        procedure_count: number of procedures the code is divided into.
+        procedure_skew: concentration of execution over procedures:
+            0 = uniform, larger = a few hot procedures get most calls.
+            (Mature compilers and the MVS supervisor are *flat*; toy
+            programs are concentrated.)
+        loop_start_probability: per-instruction chance of entering a loop
+            when not already in one.
+        mean_loop_body: mean loop-body length in instructions.
+        mean_loop_iterations: mean iterations per loop visit — *the* code
+            locality knob; toy kernels spin long, OS code barely repeats.
+        call_probability: per-instruction chance (outside loops) of calling
+            another procedure.
+        loop_call_probability: per-instruction chance, *inside* a loop
+            body, of calling a procedure and resuming the loop on return.
+            Real loop bodies call helpers constantly; this is what keeps a
+            small instruction cache busy.  0 (the default) models pure
+            straight-line bodies.
+        short_jump_probability: per-instruction chance of a short forward
+            skip (if/else), mostly invisible to the paper's 8-byte branch
+            heuristic.
+        phase_instructions: phase-drift interval.  Every this many executed
+            instructions the hot-procedure distribution rotates by one
+            procedure, so the program slowly moves through its code the way
+            real programs move through phases: the instantaneous locus
+            stays small while the cumulative footprint grows.  0 disables
+            drift (single-phase toy programs).
+    """
+
+    footprint_bytes: int = 16_384
+    instruction_bytes: int = 4
+    procedure_count: int = 32
+    procedure_skew: float = 1.0
+    loop_start_probability: float = 0.04
+    mean_loop_body: float = 8.0
+    mean_loop_iterations: float = 10.0
+    call_probability: float = 0.02
+    loop_call_probability: float = 0.0
+    short_jump_probability: float = 0.02
+    phase_instructions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.footprint_bytes <= 0:
+            raise ValueError(f"footprint_bytes must be positive, got {self.footprint_bytes}")
+        if self.instruction_bytes <= 0:
+            raise ValueError(
+                f"instruction_bytes must be positive, got {self.instruction_bytes}"
+            )
+        if self.procedure_count <= 0:
+            raise ValueError(f"procedure_count must be positive, got {self.procedure_count}")
+        if self.procedure_skew < 0:
+            raise ValueError(f"procedure_skew must be >= 0, got {self.procedure_skew}")
+        for name in (
+            "loop_start_probability",
+            "call_probability",
+            "loop_call_probability",
+            "short_jump_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.mean_loop_body < 1.0:
+            raise ValueError(f"mean_loop_body must be >= 1, got {self.mean_loop_body}")
+        if self.mean_loop_iterations < 0.0:
+            raise ValueError(
+                f"mean_loop_iterations must be >= 0, got {self.mean_loop_iterations}"
+            )
+        if self.phase_instructions < 0:
+            raise ValueError(
+                f"phase_instructions must be >= 0, got {self.phase_instructions}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class DataModel:
+    """Data-stream behaviour of a synthetic program.
+
+    The stream is a mixture of three classic components:
+
+    * **stack** references near the call-stack top (high locality, coupled
+      to the code model's calls and returns);
+    * **sequential** scans through arrays/records (the behaviour that makes
+      data prefetching work, Section 3.5.1: "data is often stored and
+      referenced sequentially");
+    * **working-set** references drawn from the data footprint with a
+      configurable skew (hot/cold structure).
+
+    Attributes:
+        footprint_bytes: data region size — Table 2's "#Dlines" driver.
+        access_bytes: bytes per data reference (memory-interface width for
+            data: 8 for the CDC 6400's 60-bit word, 2 for the Z8000...).
+        write_fraction: fraction of data references that are stores; the
+            paper's rule of thumb makes reads ≈ 2x writes, i.e. ~1/3.
+        writable_fraction: fraction of the data space that is ever written
+            (the rest is read-only: constants, input buffers, shared
+            tables).  This is the direct knob behind Table 3's "fraction of
+            data pushes dirty", whose wide per-program range (0.22-0.80)
+            the paper highlights.  Stack lines are always writable.
+        stack_fraction / sequential_fraction: mixture weights (the
+            working-set component gets the remainder).
+        stack_window_bytes: how far below the stack top references fall.
+        mean_sequential_run: mean references per sequential scan before it
+            jumps elsewhere.
+        sequential_streams: concurrently active scan streams.
+        sequential_arrays: number of distinct array objects the scans walk.
+            Scans pick an array with the working-set skew and re-walk it
+            from the start, so hot arrays are re-scanned (and hit after
+            their first pass) while cold arrays supply compulsory misses.
+        working_set_skew: the LRU-stack reuse exponent theta (> 1).  The
+            working-set component references stack position k with
+            ``P(k) ~ k**-theta``, so the miss ratio of this component falls
+            with cache size roughly as ``size**-(theta-1)``: values near 1
+            give the flat curves of poor-locality code (MVS), large values
+            the steep curves of tight kernels.
+        phase_interval: working-set turnover interval.  Every this many
+            data references a few of the least recently used working-set
+            lines are retired to a cold pool and later "re-allocated" by
+            deep references, sustaining steady-state churn after the
+            footprint saturates.  0 disables turnover.
+    """
+
+    footprint_bytes: int = 32_768
+    access_bytes: int = 4
+    write_fraction: float = 0.33
+    writable_fraction: float = 0.5
+    stack_fraction: float = 0.25
+    sequential_fraction: float = 0.35
+    stack_window_bytes: int = 64
+    mean_sequential_run: float = 24.0
+    sequential_streams: int = 3
+    sequential_arrays: int = 12
+    working_set_skew: float = 2.5
+    phase_interval: int = 0
+
+    def __post_init__(self) -> None:
+        if self.footprint_bytes <= 0:
+            raise ValueError(f"footprint_bytes must be positive, got {self.footprint_bytes}")
+        if self.access_bytes <= 0:
+            raise ValueError(f"access_bytes must be positive, got {self.access_bytes}")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError(f"write_fraction must be in [0, 1], got {self.write_fraction}")
+        if not 0.0 < self.writable_fraction <= 1.0:
+            raise ValueError(
+                f"writable_fraction must be in (0, 1], got {self.writable_fraction}"
+            )
+        if self.stack_fraction < 0 or self.sequential_fraction < 0:
+            raise ValueError("mixture fractions must be non-negative")
+        if self.stack_fraction + self.sequential_fraction > 1.0 + 1e-9:
+            raise ValueError(
+                "stack_fraction + sequential_fraction must not exceed 1, got "
+                f"{self.stack_fraction} + {self.sequential_fraction}"
+            )
+        if self.stack_window_bytes <= 0:
+            raise ValueError(
+                f"stack_window_bytes must be positive, got {self.stack_window_bytes}"
+            )
+        if self.mean_sequential_run < 1.0:
+            raise ValueError(
+                f"mean_sequential_run must be >= 1, got {self.mean_sequential_run}"
+            )
+        if self.sequential_streams <= 0:
+            raise ValueError(
+                f"sequential_streams must be positive, got {self.sequential_streams}"
+            )
+        if self.sequential_arrays <= 0:
+            raise ValueError(
+                f"sequential_arrays must be positive, got {self.sequential_arrays}"
+            )
+        if self.working_set_skew <= 1.0:
+            raise ValueError(
+                f"working_set_skew must be > 1, got {self.working_set_skew}"
+            )
+        if self.phase_interval < 0:
+            raise ValueError(f"phase_interval must be >= 0, got {self.phase_interval}")
+
+    @property
+    def working_set_fraction(self) -> float:
+        """Mixture weight of the working-set component."""
+        return 1.0 - self.stack_fraction - self.sequential_fraction
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadParameters:
+    """Complete description of one synthetic program.
+
+    Attributes:
+        name / architecture / language / description: trace identity,
+            mirrored into the generated trace's metadata.
+        instruction_fraction: target fraction of all memory references that
+            are instruction fetches (Table 2's dominant column: ~0.5 for
+            the 370 and VAX, 0.75 for the Z8000, 0.77 for the CDC 6400).
+            The generator paces data references so the realized mix
+            converges to this value regardless of the interface model.
+        code / data: the two stream models.
+        ifetch_bytes: memory-interface width for instruction fetches.
+        interface_memory: whether the instruction interface remembers the
+            last word fetched (Section 1.1's "memory" in the interface).
+            The CDC 6400 and 360/91 traces assume none, which "significantly
+            overstates the number of fetches to memory".
+        monitor_style: collapse IFETCH/READ into FETCH, reproducing the
+            hardware-monitor information loss of the M68000 traces.
+        seed: base RNG seed; the same parameters and seed always produce
+            the identical trace.
+    """
+
+    name: str
+    architecture: str
+    language: str
+    description: str = ""
+    instruction_fraction: float = 0.5
+    code: CodeModel = field(default_factory=CodeModel)
+    data: DataModel = field(default_factory=DataModel)
+    ifetch_bytes: int = 4
+    interface_memory: bool = True
+    monitor_style: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.instruction_fraction < 1.0:
+            raise ValueError(
+                f"instruction_fraction must be in (0, 1), got {self.instruction_fraction}"
+            )
+        if self.ifetch_bytes <= 0:
+            raise ValueError(f"ifetch_bytes must be positive, got {self.ifetch_bytes}")
+
+    def evolve(self, **changes) -> "WorkloadParameters":
+        """Copy with top-level fields replaced (nested models via ``code=``/``data=``)."""
+        return replace(self, **changes)

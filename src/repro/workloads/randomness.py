@@ -1,0 +1,72 @@
+"""Batched pseudo-random number helper for the trace generators.
+
+The generators draw a few random numbers per reference; calling
+``numpy.random.Generator`` one value at a time would dominate the run time.
+:class:`BatchedRandom` vends scalars from pre-generated blocks, keeping the
+cost per draw near a list index while staying fully deterministic for a
+given seed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["BatchedRandom"]
+
+_BLOCK = 8192
+
+
+class BatchedRandom:
+    """Deterministic scalar random source backed by numpy blocks.
+
+    Args:
+        seed: anything accepted by :func:`numpy.random.default_rng`.
+    """
+
+    def __init__(self, seed: int | np.random.SeedSequence = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+        self._uniforms: list[float] = []
+        self._next = 0
+
+    def uniform(self) -> float:
+        """One float in [0, 1)."""
+        if self._next >= len(self._uniforms):
+            self._uniforms = self._rng.random(_BLOCK).tolist()
+            self._next = 0
+        value = self._uniforms[self._next]
+        self._next += 1
+        return value
+
+    def integer(self, bound: int) -> int:
+        """One integer in [0, bound).
+
+        Raises:
+            ValueError: if ``bound`` is not positive.
+        """
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        return int(self.uniform() * bound)
+
+    def geometric(self, mean: float) -> int:
+        """One geometric variate with the given mean, support {1, 2, ...}.
+
+        A mean at or below 1 degenerates to the constant 1.
+        """
+        if mean <= 1.0:
+            return 1
+        # P(k) = (1-p)^(k-1) p with p = 1/mean  =>  inverse transform.
+        u = self.uniform()
+        if u <= 0.0:
+            return 1
+        return 1 + int(math.log(u) / math.log(1.0 - 1.0 / mean))
+
+    def spawn(self) -> "BatchedRandom":
+        """Independent child stream (deterministic given this stream's state)."""
+        return BatchedRandom(self._rng.integers(0, 2**63 - 1))
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """The underlying numpy generator (for bulk draws)."""
+        return self._rng

@@ -1,0 +1,182 @@
+"""Catalog calibration validation against the paper's anchors.
+
+The synthetic catalog is only as good as its calibration; this module
+checks every quantitative anchor the paper's text provides — group-average
+miss ratios at 1K (Section 3.1), the Lisp curve at four sizes, the
+reference-mix and branch-frequency statistics (Section 3.2), and the
+address-space sizes (Table 2 averages) — and reports paper-vs-measured
+with ratios, machine-readably.
+
+Used by the report generator (``repro.analysis.report``) and by the
+benchmark harness; run it directly after touching any catalog parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.stackdist import lru_miss_ratio_curve
+from ..trace.characteristics import characterize
+from . import catalog
+
+__all__ = ["AnchorCheck", "CalibrationReport", "validate_catalog"]
+
+#: Section 3.1's miss-ratio anchors at a 1-Kbyte cache, by reporting group.
+MISS_ANCHORS_1K: dict[str, float] = {
+    "Motorola 68000": 0.017,
+    "Zilog Z8000": 0.031,
+    "VAX (non-Lisp)": 0.048,
+    "VAX (Lisp)": 0.111,
+}
+
+#: Section 3.1's Lisp curve.
+LISP_CURVE: dict[int, float] = {1024: 0.111, 4096: 0.055, 16384: 0.024,
+                                65536: 0.0155}
+
+#: Section 3.2's instruction-fetch shares.
+IFETCH_ANCHORS: dict[str, float] = {"Zilog Z8000": 0.751, "CDC 6400": 0.772}
+
+#: Section 3.2's branch fractions.
+BRANCH_ANCHORS: dict[str, float] = {
+    "VAX (non-Lisp)": 0.175,
+    "IBM 360/91": 0.16,
+    "VAX (Lisp)": 0.141,
+    "IBM 370": 0.14,
+    "Zilog Z8000": 0.105,
+    "CDC 6400": 0.042,
+}
+
+#: Table 2's mean address-space sizes in bytes.
+ASPACE_ANCHORS: dict[str, float] = {
+    "Motorola 68000": 2868,
+    "Zilog Z8000": 11351,
+    "VAX (non-Lisp)": 23032,
+    "IBM 360/91": 28396,
+    "CDC 6400": 21305,
+    "VAX (Lisp)": 61598,
+    "IBM 370": 58439,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class AnchorCheck:
+    """One paper-vs-measured comparison."""
+
+    metric: str
+    subject: str
+    paper: float
+    measured: float
+
+    @property
+    def ratio(self) -> float:
+        """measured / paper (1.0 = exact)."""
+        if self.paper == 0:
+            return float("inf")
+        return self.measured / self.paper
+
+    def within(self, factor: float) -> bool:
+        """True iff measured is within a multiplicative band of paper."""
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        return 1.0 / factor <= self.ratio <= factor
+
+
+@dataclass(frozen=True, slots=True)
+class CalibrationReport:
+    """All anchor checks for one catalog generation length."""
+
+    checks: tuple[AnchorCheck, ...]
+    length: int | None
+
+    def worst(self) -> AnchorCheck:
+        """The check farthest from 1.0 (in log-ratio)."""
+        return max(self.checks, key=lambda c: abs(np.log(max(c.ratio, 1e-12))))
+
+    def all_within(self, factor: float) -> bool:
+        """True iff every check lands inside the factor band."""
+        return all(check.within(factor) for check in self.checks)
+
+    def by_metric(self, metric: str) -> list[AnchorCheck]:
+        """The checks for one metric family."""
+        return [check for check in self.checks if check.metric == metric]
+
+    def render(self) -> str:
+        """Paper-vs-measured table."""
+        from ..analysis.tables import render_table  # local: avoids a cycle
+
+        rows = [
+            (check.metric, check.subject, f"{check.paper:.4g}",
+             f"{check.measured:.4g}", f"{check.ratio:.2f}")
+            for check in self.checks
+        ]
+        return render_table(
+            ["metric", "subject", "paper", "measured", "ratio"],
+            rows,
+            title=f"Catalog calibration vs paper anchors "
+            f"(length={self.length or 'paper defaults'})",
+        )
+
+
+def validate_catalog(length: int | None = None) -> CalibrationReport:
+    """Measure every paper anchor against the current catalog.
+
+    Args:
+        length: references per trace (None = the paper's lengths).
+
+    Returns:
+        A :class:`CalibrationReport` with one :class:`AnchorCheck` per
+        anchor.
+    """
+    sizes = list(LISP_CURVE)
+    curves: dict[str, np.ndarray] = {}
+    rows = {}
+    for name in catalog.names():
+        trace = catalog.generate(name, length)
+        curves[name] = lru_miss_ratio_curve(trace, sizes)
+        rows[name] = characterize(trace)
+
+    groups = catalog.groups()
+
+    def group_mean(values_by_name, members):
+        return float(np.mean([values_by_name[m] for m in members]))
+
+    checks: list[AnchorCheck] = []
+
+    # Miss ratios at 1K.
+    at_1k = {name: float(curve[0]) for name, curve in curves.items()}
+    for group, paper_value in MISS_ANCHORS_1K.items():
+        checks.append(AnchorCheck("miss@1K", group, paper_value,
+                                  group_mean(at_1k, groups[group])))
+    combined = groups["IBM 370"] + groups["IBM 360/91"]
+    checks.append(AnchorCheck("miss@1K", "IBM 370 + 360/91", 0.17,
+                              group_mean(at_1k, combined)))
+
+    # The Lisp curve.
+    lisp = groups["VAX (Lisp)"]
+    lisp_mean = np.mean([curves[m] for m in lisp], axis=0)
+    for index, (size, paper_value) in enumerate(LISP_CURVE.items()):
+        checks.append(AnchorCheck(f"lisp-miss@{size}", "VAX (Lisp)",
+                                  paper_value, float(lisp_mean[index])))
+
+    # Reference-mix anchors.
+    ifetch = {name: row.fraction_ifetch + row.fraction_fetch
+              for name, row in rows.items()}
+    for group, paper_value in IFETCH_ANCHORS.items():
+        checks.append(AnchorCheck("ifetch-share", group, paper_value,
+                                  group_mean(ifetch, groups[group])))
+
+    # Branch-frequency anchors.
+    branch = {name: row.branch_fraction for name, row in rows.items()}
+    for group, paper_value in BRANCH_ANCHORS.items():
+        checks.append(AnchorCheck("branch-fraction", group, paper_value,
+                                  group_mean(branch, groups[group])))
+
+    # Address-space anchors.
+    aspace = {name: float(row.address_space_bytes) for name, row in rows.items()}
+    for group, paper_value in ASPACE_ANCHORS.items():
+        checks.append(AnchorCheck("aspace-bytes", group, paper_value,
+                                  group_mean(aspace, groups[group])))
+
+    return CalibrationReport(tuple(checks), length)

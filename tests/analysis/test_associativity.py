@@ -1,0 +1,48 @@
+"""Tests for the associativity study."""
+
+import pytest
+
+from repro.analysis import associativity_study
+
+LENGTH = 20_000
+
+
+@pytest.fixture(scope="module")
+def study():
+    return associativity_study(
+        workloads=["ZGREP", "VCCOM"],
+        ways=(1, 2, None),
+        capacities=(1024, 8192),
+        length=LENGTH,
+    )
+
+
+class TestStudy:
+    def test_shapes_and_bounds(self, study):
+        surface = study.miss["VCCOM"]
+        assert surface.shape == (3, 2)
+        assert ((surface >= 0) & (surface <= 1)).all()
+
+    def test_conflict_misses_non_negative(self, study):
+        for name in ("ZGREP", "VCCOM"):
+            for capacity in (1024, 8192):
+                assert study.conflict_miss_ratio(name, 1, capacity) >= -1e-12
+                assert study.conflict_miss_ratio(name, 2, capacity) >= -1e-12
+
+    def test_direct_mapped_worst(self, study):
+        for name in ("ZGREP", "VCCOM"):
+            assert study.penalty(name, 1, 1024) >= study.penalty(name, 2, 1024) - 1e-9
+
+    def test_two_way_penalty_small(self, study):
+        # Section 4.1: the VAX's 2-way design costs little vs full assoc.
+        assert study.mean_penalty(2, 8192) < 1.6
+
+    def test_conflict_requires_full_column(self):
+        partial = associativity_study(workloads=["ZGREP"], ways=(1, 2),
+                                      capacities=(1024,), length=5_000)
+        with pytest.raises(ValueError, match="full associativity"):
+            partial.conflict_miss_ratio("ZGREP", 1, 1024)
+
+    def test_render(self, study):
+        text = study.render(1024)
+        assert "Associativity study" in text and "full" in text

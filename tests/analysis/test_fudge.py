@@ -1,0 +1,93 @@
+"""Tests for the cross-architecture fudge factors."""
+
+import pytest
+
+from repro.analysis import (
+    ARCHITECTURE_COMPLEXITY,
+    ArchitectureEstimator,
+    architecture_statistics,
+    fudge_factor,
+    fudge_table,
+)
+
+LENGTH = 15_000
+
+
+class TestStatistics:
+    def test_known_architecture(self):
+        stats = architecture_statistics("Zilog Z8000", length=LENGTH)
+        assert stats.instruction_fraction == pytest.approx(0.751, abs=0.02)
+        assert stats.instruction_to_data_ratio == pytest.approx(3.0, abs=0.4)
+
+    def test_unknown_architecture(self):
+        with pytest.raises(ValueError, match="no catalog traces"):
+            architecture_statistics("PDP-11")
+
+    def test_complex_machine_has_lower_instruction_share(self):
+        vax = architecture_statistics("VAX 11/780", length=LENGTH)
+        cdc = architecture_statistics("CDC 6400", length=LENGTH)
+        assert vax.instruction_fraction < cdc.instruction_fraction
+        assert vax.branch_fraction > cdc.branch_fraction
+
+    def test_monitor_traces_counted(self):
+        m68k = architecture_statistics("Motorola 68000", length=LENGTH)
+        assert m68k.instruction_fraction > 0.4  # FETCH folded in
+
+
+class TestFudgeFactor:
+    def test_identity_is_one(self):
+        assert fudge_factor(
+            "instruction_fraction", "IBM 370", "IBM 370", length=LENGTH
+        ) == pytest.approx(1.0)
+
+    def test_inverse_relationship(self):
+        forward = fudge_factor("branch_fraction", "VAX 11/780", "CDC 6400",
+                               length=LENGTH)
+        backward = fudge_factor("branch_fraction", "CDC 6400", "VAX 11/780",
+                                length=LENGTH)
+        assert forward * backward == pytest.approx(1.0)
+        assert forward < 1.0  # CDC branches less often than the VAX
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError, match="metric"):
+            fudge_factor("coolness", "IBM 370", "CDC 6400", length=LENGTH)
+
+    def test_table_renders(self):
+        text = fudge_table(metrics=("instruction_fraction",), length=LENGTH)
+        assert "Fudge factors" in text
+        assert "CDC 6400" in text
+
+
+class TestEstimator:
+    @pytest.fixture(scope="class")
+    def estimator(self):
+        return ArchitectureEstimator(length=LENGTH)
+
+    def test_complexity_scale_sanity(self):
+        assert ARCHITECTURE_COMPLEXITY["VAX 11/780"] == 1.0
+        assert ARCHITECTURE_COMPLEXITY["CDC 6400"] < ARCHITECTURE_COMPLEXITY["IBM 370"]
+
+    def test_interpolation_monotone_in_complexity(self, estimator):
+        simple = estimator.estimate(0.2)
+        complex_ = estimator.estimate(0.95)
+        # Section 4.3: simple architectures fetch more instructions per
+        # datum and branch less often.
+        assert simple.instruction_fraction > complex_.instruction_fraction
+        assert simple.branch_fraction < complex_.branch_fraction
+
+    def test_instruction_to_data_ratio_band(self, estimator):
+        # Paper: "about 1:1 for relatively complex (32 bit) architectures
+        # up to about 3:1 for extremely simplified architectures".
+        assert estimator.estimate(1.0).instruction_to_data_ratio < 1.6
+        assert estimator.estimate(0.0).instruction_to_data_ratio > 2.2
+
+    def test_complexity_bounds(self, estimator):
+        with pytest.raises(ValueError, match="complexity"):
+            estimator.estimate(1.5)
+
+    def test_anchor_recovery(self, estimator):
+        at_anchor = estimator.estimate(ARCHITECTURE_COMPLEXITY["IBM 370"])
+        direct = architecture_statistics("IBM 370", length=LENGTH)
+        assert at_anchor.instruction_fraction == pytest.approx(
+            direct.instruction_fraction, abs=0.02
+        )

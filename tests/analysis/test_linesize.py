@@ -1,0 +1,64 @@
+"""Tests for the line-size study (the paper's stated future work)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import line_size_study
+
+LENGTH = 25_000
+
+
+@pytest.fixture(scope="module")
+def study():
+    return line_size_study(
+        workloads=["ZGREP", "VCCOM", "LISP1"],
+        line_sizes=(4, 8, 16, 32),
+        capacities=(1024, 8192),
+        length=LENGTH,
+    )
+
+
+class TestSurfaces:
+    def test_shapes(self, study):
+        surface = study.miss_surface("VCCOM")
+        assert surface.shape == (4, 2)
+        assert ((surface >= 0) & (surface <= 1)).all()
+
+    def test_unknown_workload(self, study):
+        with pytest.raises(KeyError):
+            study.miss_surface("NOPE")
+
+    def test_bigger_lines_help_at_the_small_end(self, study):
+        # 4B -> 16B is an improvement for every workload at 8K.
+        for name in ("ZGREP", "VCCOM", "LISP1"):
+            surface = study.miss_surface(name)
+            assert surface[2, 1] < surface[0, 1]
+
+    def test_traffic_surface_is_miss_times_line(self, study):
+        surface = study.miss_surface("VCCOM")
+        traffic = study.traffic_surface("VCCOM")
+        assert traffic[1, 0] == pytest.approx(surface[1, 0] * 8)
+
+
+class TestOptima:
+    def test_traffic_optimum_never_larger_than_miss_optimum(self, study):
+        # Bus traffic penalizes big lines; its optimum can only be smaller.
+        for name in ("ZGREP", "VCCOM", "LISP1"):
+            assert study.traffic_optimal_line(name, 8192) <= \
+                study.miss_optimal_line(name, 8192)
+
+    def test_doubling_gain_rule_of_thumb(self, study):
+        gains = study.doubling_gain(8, 16, 8192)
+        # Section 4.1: 8B -> 16B "usually halved" at 8K; allow a band.
+        assert all(0.3 < value < 0.85 for value in gains.values()), gains
+
+
+class TestValidationAndRender:
+    def test_capacity_line_mismatch(self):
+        with pytest.raises(ValueError, match="multiple"):
+            line_size_study(workloads=["ZGREP"], line_sizes=(4, 48),
+                            capacities=(1024,), length=1000)
+
+    def test_render(self, study):
+        text = study.render(8192)
+        assert "Line-size study" in text and "VCCOM" in text

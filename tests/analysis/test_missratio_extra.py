@@ -1,0 +1,48 @@
+"""Additional Table 1 result-object tests (rendering, group machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import table1_experiment
+from repro.analysis.missratio import PAPER_GROUP_AVERAGES_1K, PAPER_LISP_AVERAGES
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table1_experiment(
+        names=["ZGREP", "PLO", "FGO1", "WATEX", "LISP1", "LISP2"],
+        sizes=(1024, 4096),
+        length=12_000,
+    )
+
+
+class TestGroupMachinery:
+    def test_group_averages_only_cover_swept_groups(self, result):
+        averages = result.group_averages()
+        assert "Zilog Z8000" in averages
+        assert "CDC 6400" not in averages  # no CDC trace swept
+
+    def test_combined_370_360(self, result):
+        combined = result.combined_370_360_average()
+        fgo = result.curves["FGO1"].as_array()
+        watex = result.curves["WATEX"].as_array()
+        assert np.allclose(combined, (fgo + watex) / 2)
+
+    def test_comparison_with_paper_keys(self, result):
+        comparison = result.comparison_with_paper()
+        assert "Zilog Z8000" in comparison
+        assert "IBM 370 + 360/91" in comparison
+        for paper, ours in comparison.values():
+            assert 0 < paper < 1 and 0 <= ours <= 1
+
+    def test_paper_constants_sane(self):
+        assert PAPER_GROUP_AVERAGES_1K["VAX (Lisp)"] == pytest.approx(0.111)
+        assert PAPER_LISP_AVERAGES[65536] == pytest.approx(0.0155)
+        # Lisp anchors decay monotonically.
+        values = [PAPER_LISP_AVERAGES[k] for k in sorted(PAPER_LISP_AVERAGES)]
+        assert values == sorted(values, reverse=True)
+
+    def test_render_has_both_sections(self, result):
+        text = result.render()
+        assert "Table 1" in text and "Figure 1" in text
+        assert "LISP2" in text

@@ -1,0 +1,74 @@
+"""Tests for the published-data models (Figure 2, validation constants)."""
+
+import pytest
+
+from repro.analysis import (
+    ALPERT83_Z80000,
+    CLARK83_VAX,
+    HARD80_PROBLEM,
+    HARD80_SUPERVISOR,
+    PowerLawMissRatio,
+    figure2_series,
+)
+
+
+class TestPowerLaw:
+    def test_clamped_to_unit_interval(self):
+        law = PowerLawMissRatio(5.0, 0.5)
+        assert law.miss_ratio(32) == 1.0
+        assert 0.0 < law.miss_ratio(1 << 30) < 1.0
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError, match="size"):
+            PowerLawMissRatio(0.1, 0.5).miss_ratio(0)
+
+    def test_hit_plus_miss_is_one(self):
+        law = PowerLawMissRatio(0.3, 0.5)
+        assert law.hit_ratio(8192) + law.miss_ratio(8192) == pytest.approx(1.0)
+
+    def test_fit_recovers_exact_power_law(self):
+        truth = PowerLawMissRatio(0.25, 0.4)
+        points = {size: truth.miss_ratio(size) for size in (2048, 8192, 32768)}
+        fitted = PowerLawMissRatio.fit(points)
+        assert fitted.coefficient == pytest.approx(0.25, rel=1e-6)
+        assert fitted.exponent == pytest.approx(0.4, rel=1e-6)
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError, match="two points"):
+            PowerLawMissRatio.fit({1024: 0.1})
+        with pytest.raises(ValueError, match="positive"):
+            PowerLawMissRatio.fit({1024: 0.1, 2048: 0.0})
+
+
+class TestHard80:
+    def test_supervisor_matches_quoted_hit_ratios(self):
+        # Paper: hit ratios approximately 0.925, 0.948, 0.964 at 16/32/64K.
+        assert HARD80_SUPERVISOR.hit_ratio(16384) == pytest.approx(0.925, abs=0.003)
+        assert HARD80_SUPERVISOR.hit_ratio(32768) == pytest.approx(0.948, abs=0.003)
+        assert HARD80_SUPERVISOR.hit_ratio(65536) == pytest.approx(0.964, abs=0.003)
+
+    def test_problem_state_hit_ratios_near_098(self):
+        for size in (16384, 32768, 65536):
+            assert HARD80_PROBLEM.hit_ratio(size) == pytest.approx(0.983, abs=0.005)
+
+    def test_supervisor_worse_than_problem_state(self):
+        for size in (4096, 16384, 65536):
+            assert HARD80_SUPERVISOR.miss_ratio(size) > HARD80_PROBLEM.miss_ratio(size)
+
+    def test_figure2_series_monotone(self):
+        sizes = [1024, 4096, 16384, 65536]
+        series = figure2_series(sizes)
+        for values in series.values():
+            assert values == sorted(values, reverse=True)
+
+
+class TestConstants:
+    def test_clark_measurements(self):
+        assert CLARK83_VAX.cache_bytes == 8192
+        assert CLARK83_VAX.data_miss_ratio == pytest.approx(0.165)
+        # Clark's data misses exceed instruction misses on the 11/780.
+        assert CLARK83_VAX.data_miss_ratio > CLARK83_VAX.instruction_miss_ratio
+
+    def test_alpert_projections_increase_with_subblock(self):
+        projections = ALPERT83_Z80000["projected_hit_ratios"]
+        assert projections[2] < projections[4] < projections[16]

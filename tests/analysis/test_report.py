@@ -1,0 +1,49 @@
+"""Tests for the one-shot report generator."""
+
+import pytest
+
+from repro.analysis import generate_report
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        stages = []
+        text = generate_report(
+            length=6_000, include_prefetch=False, progress=stages.append
+        )
+        return text, stages
+
+    def test_all_sections_present(self, report):
+        text, _ = report
+        for heading in (
+            "# Experiment report",
+            "## Catalog calibration",
+            "## Table 1 / Figure 1",
+            "## Table 2",
+            "## Figure 2",
+            "## Table 3",
+            "## Figures 3-4",
+            "## Table 5",
+            "## Section 4.1 / 4.3",
+        ):
+            assert heading in text, heading
+
+    def test_prefetch_skipped_when_disabled(self, report):
+        text, _ = report
+        assert "## Table 4" not in text
+
+    def test_progress_callback_fired(self, report):
+        _, stages = report
+        assert stages[0] == "calibration"
+        assert stages[-1] == "done"
+        assert "table 5" in stages
+
+    def test_markdown_blocks_balanced(self, report):
+        text, _ = report
+        assert text.count("```") % 2 == 0
+
+    def test_paper_anchor_values_quoted(self, report):
+        text, _ = report
+        assert "0.47" in text  # Table 3's rule of thumb
+        assert "0.14 / 0.27 / 0.23" in text  # doubling factors

@@ -1,0 +1,48 @@
+"""Tests for text rendering of tables and figure series."""
+
+import pytest
+
+from repro.analysis import render_series, render_table
+from repro.analysis.tables import format_ratio, format_size
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(["a", "bb"], [(1, 2), (333, 4)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "333" in lines[4]
+        # All body rows share the header row's width.
+        assert len(lines[2]) == len(lines[1])
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [(1,)])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestRenderSeries:
+    def test_basic(self):
+        text = render_series("x", [1, 2], {"s1": [0.5, 0.25]}, title="F")
+        assert "0.5000" in text and "0.2500" in text
+        assert text.splitlines()[0] == "F"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="points"):
+            render_series("x", [1, 2], {"s1": [0.5]})
+
+    def test_digits(self):
+        text = render_series("x", [1], {"s": [0.123456]}, digits=2)
+        assert "0.12" in text
+
+
+class TestFormatters:
+    def test_format_size(self):
+        assert format_size(1024) == "1024"
+
+    def test_format_ratio(self):
+        assert format_ratio(0.04815) == "0.0481"
+        assert format_ratio(0.5, digits=2) == "0.50"

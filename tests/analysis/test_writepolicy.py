@@ -1,0 +1,52 @@
+"""Tests for the write-policy study."""
+
+import pytest
+
+from repro.analysis import write_policy_study
+
+LENGTH = 20_000
+
+
+@pytest.fixture(scope="module")
+def study():
+    return write_policy_study(workloads=["ZGREP", "CGO1"], capacity=8192,
+                              length=LENGTH)
+
+
+class TestWritePolicyStudy:
+    def test_policies_present(self, study):
+        assert study.policy_names() == [
+            "copy-back", "write-through", "write-through+combine",
+        ]
+        for name in ("ZGREP", "CGO1"):
+            assert set(study.traffic_bytes[name]) == set(study.policy_names())
+
+    def test_copy_back_ratio_is_one(self, study):
+        assert study.traffic_ratio("ZGREP", "copy-back") == pytest.approx(1.0)
+
+    def test_combining_never_exceeds_plain_write_through(self, study):
+        for name in ("ZGREP", "CGO1"):
+            assert (study.write_transactions[name]["write-through+combine"]
+                    <= study.write_transactions[name]["write-through"])
+
+    def test_copy_back_fewer_write_transactions(self, study):
+        # Section 3.3's point: write-backs (miss ratio x dirty fraction)
+        # are far rarer than individual store write-throughs when stores
+        # revisit lines.
+        for name in ("ZGREP", "CGO1"):
+            assert (study.write_transactions[name]["copy-back"]
+                    < 0.5 * study.write_transactions[name]["write-through"])
+
+    def test_store_locality_positive(self, study):
+        for value in study.writes_per_written_line.values():
+            assert value >= 1.0
+
+    def test_write_through_can_miss_more(self, study):
+        # No-allocate store misses never fill the cache.
+        for name in ("ZGREP", "CGO1"):
+            assert (study.miss_ratio[name]["write-through"]
+                    >= study.miss_ratio[name]["copy-back"] - 1e-9)
+
+    def test_render(self, study):
+        text = study.render()
+        assert "Write-policy study" in text and "combine" in text

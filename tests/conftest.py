@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace import AccessKind, MemoryAccess, Trace, TraceMetadata
+
+_I = int(AccessKind.IFETCH)
+_R = int(AccessKind.READ)
+_W = int(AccessKind.WRITE)
+
+
+def make_trace(entries, name="test", architecture="testarch", language="C"):
+    """Build a Trace from (kind, address[, size]) tuples."""
+    accesses = []
+    for entry in entries:
+        if len(entry) == 2:
+            kind, address = entry
+            size = 4
+        else:
+            kind, address, size = entry
+        accesses.append(MemoryAccess(kind, address, size))
+    return Trace.from_accesses(
+        accesses, TraceMetadata(name=name, architecture=architecture, language=language)
+    )
+
+
+@pytest.fixture
+def tiny_trace():
+    """Seven references over five 16-byte lines (classic LRU exercise)."""
+    addresses = [0, 16, 32, 48, 0, 64, 16]
+    return make_trace([(AccessKind.READ, a) for a in addresses])
+
+
+@pytest.fixture
+def mixed_trace():
+    """A trace with all three classified kinds."""
+    return make_trace(
+        [
+            (AccessKind.IFETCH, 0x1000),
+            (AccessKind.IFETCH, 0x1004),
+            (AccessKind.READ, 0x2000),
+            (AccessKind.IFETCH, 0x1008),
+            (AccessKind.WRITE, 0x2000),
+            (AccessKind.IFETCH, 0x1100),
+            (AccessKind.READ, 0x2010),
+            (AccessKind.IFETCH, 0x1104),
+        ]
+    )
+
+
+@pytest.fixture
+def random_trace():
+    """A deterministic pseudo-random trace for equivalence tests."""
+    rng = np.random.default_rng(1234)
+    count = 4000
+    kinds = rng.choice([_I, _R, _W], size=count, p=[0.5, 0.33, 0.17])
+    addresses = (rng.zipf(1.4, size=count) * 8) % (1 << 18)
+    sizes = np.full(count, 4)
+    return Trace(kinds, addresses, sizes, TraceMetadata(name="random"))

@@ -1,0 +1,97 @@
+"""Tests for cache geometry and address arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CacheGeometry, is_power_of_two, log2_int
+
+
+class TestHelpers:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(4096)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(-8)
+        assert not is_power_of_two(12)
+
+    def test_log2_int(self):
+        assert log2_int(1) == 0
+        assert log2_int(65536) == 16
+
+    def test_log2_int_rejects_non_powers(self):
+        with pytest.raises(ValueError, match="power of two"):
+            log2_int(12)
+
+
+class TestValidation:
+    def test_capacity_power_of_two(self):
+        with pytest.raises(ValueError, match="capacity"):
+            CacheGeometry(capacity=1000)
+
+    def test_line_size_power_of_two(self):
+        with pytest.raises(ValueError, match="line_size"):
+            CacheGeometry(capacity=1024, line_size=12)
+
+    def test_line_larger_than_capacity(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            CacheGeometry(capacity=16, line_size=32)
+
+    def test_associativity_must_divide(self):
+        with pytest.raises(ValueError, match="does not divide"):
+            CacheGeometry(capacity=1024, line_size=16, associativity=3)
+
+    def test_associativity_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            CacheGeometry(capacity=1024, line_size=16, associativity=0)
+
+
+class TestDerived:
+    def test_fully_associative_default(self):
+        geometry = CacheGeometry(1024, 16)
+        assert geometry.is_fully_associative
+        assert geometry.num_sets == 1
+        assert geometry.ways == 64
+        assert geometry.num_lines == 64
+
+    def test_direct_mapped(self):
+        geometry = CacheGeometry(1024, 16, associativity=1)
+        assert geometry.is_direct_mapped
+        assert geometry.num_sets == 64
+
+    def test_two_way(self):
+        geometry = CacheGeometry(1024, 16, associativity=2)
+        assert geometry.num_sets == 32
+        assert geometry.ways == 2
+
+    def test_line_number(self):
+        geometry = CacheGeometry(1024, 16)
+        assert geometry.line_number(0) == 0
+        assert geometry.line_number(15) == 0
+        assert geometry.line_number(16) == 1
+
+    def test_set_index_bit_selection(self):
+        geometry = CacheGeometry(1024, 16, associativity=1)
+        assert geometry.set_index(0) == 0
+        assert geometry.set_index(64) == 0  # wraps modulo 64 sets
+        assert geometry.set_index(65) == 1
+
+    def test_describe(self):
+        assert CacheGeometry(16384, 16).describe() == "16KiB, 16B lines, fully assoc"
+        assert "direct-mapped" in CacheGeometry(64, 16, 1).describe()
+        assert "2-way" in CacheGeometry(64, 16, 2).describe()
+        assert CacheGeometry(32, 16).describe().startswith("32B")
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    capacity_log=st.integers(5, 20),
+    line_log=st.integers(2, 7),
+    address=st.integers(0, 2**40),
+)
+def test_set_index_always_in_range(capacity_log, line_log, address):
+    if line_log > capacity_log:
+        return
+    geometry = CacheGeometry(2**capacity_log, 2**line_log, associativity=1)
+    line = geometry.line_number(address)
+    assert 0 <= geometry.set_index(line) < geometry.num_sets

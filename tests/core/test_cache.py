@@ -1,0 +1,252 @@
+"""Tests for the cache engine: hits, misses, writes, purges, flags."""
+
+import pytest
+
+from repro.core import (
+    COPY_BACK,
+    FLAG_DATA,
+    FLAG_DIRTY,
+    FLAG_PREFETCHED,
+    FLAG_REFERENCED,
+    WRITE_THROUGH,
+    WRITE_THROUGH_ALLOCATE,
+    Cache,
+    CacheGeometry,
+    FetchPolicy,
+    WritePolicy,
+    WriteStrategy,
+)
+from repro.trace import AccessKind, MemoryAccess
+
+_I = int(AccessKind.IFETCH)
+_R = int(AccessKind.READ)
+_W = int(AccessKind.WRITE)
+
+
+def small_cache(**kwargs):
+    return Cache(CacheGeometry(64, 16), **kwargs)  # 4 fully associative lines
+
+
+class TestBasicHitsMisses:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.access_raw(_R, 0, 4) is False
+        assert cache.access_raw(_R, 8, 4) is True  # same line
+        assert cache.stats.misses == 1
+        assert cache.stats.references == 2
+
+    def test_typed_access_wrapper(self):
+        cache = small_cache()
+        assert cache.access(MemoryAccess(AccessKind.READ, 0)) is False
+
+    def test_capacity_and_eviction(self, tiny_trace):
+        cache = small_cache()
+        for access in tiny_trace:
+            cache.access(access)
+        # 0,16,32,48 miss; 0 hits; 64 evicts 16; 16 misses again.
+        assert cache.stats.misses == 6
+        assert len(cache) == 4
+
+    def test_contains(self):
+        cache = small_cache()
+        cache.access_raw(_R, 32, 4)
+        assert cache.contains(40)
+        assert not cache.contains(64)
+
+    def test_straddle_counts_one_reference_per_line(self):
+        cache = small_cache()
+        cache.access_raw(_R, 14, 4)  # touches lines 0 and 1
+        assert cache.stats.references == 2
+        assert cache.stats.misses == 2
+        assert cache.contains(0) and cache.contains(16)
+
+    def test_per_class_counters(self):
+        cache = small_cache()
+        cache.access_raw(_I, 0, 4)
+        cache.access_raw(_R, 64, 4)
+        cache.access_raw(_W, 128, 4)
+        stats = cache.stats
+        assert stats.ifetch.references == 1 and stats.ifetch.misses == 1
+        assert stats.read.references == 1
+        assert stats.write.references == 1
+        assert stats.instruction_miss_ratio == 1.0
+        assert stats.data_miss_ratio == 1.0
+
+
+class TestSetAssociativity:
+    def test_direct_mapped_conflict(self):
+        cache = Cache(CacheGeometry(64, 16, associativity=1))
+        cache.access_raw(_R, 0, 4)      # line 0 -> set 0
+        cache.access_raw(_R, 64, 4)     # line 4 -> set 0: conflict
+        assert not cache.contains(0)
+        assert cache.contains(64)
+        assert cache.stats.replacement_pushes == 1
+
+    def test_two_way_keeps_both(self):
+        cache = Cache(CacheGeometry(64, 16, associativity=2))
+        cache.access_raw(_R, 0, 4)
+        cache.access_raw(_R, 64, 4)  # same set, second way
+        assert cache.contains(0) and cache.contains(64)
+        cache.access_raw(_R, 128, 4)  # evicts LRU of that set (line 0)
+        assert not cache.contains(0)
+
+
+class TestWritePolicies:
+    def test_copy_back_marks_dirty_and_writes_back(self):
+        cache = small_cache(write_policy=COPY_BACK)
+        cache.access_raw(_W, 0, 4)
+        assert cache.line_flags(0) & FLAG_DIRTY
+        for address in (16, 32, 48, 64):  # push line 0 out
+            cache.access_raw(_R, address, 4)
+        stats = cache.stats
+        assert stats.dirty_pushes == 1
+        assert stats.dirty_data_pushes == 1
+        assert stats.write_throughs == 0
+
+    def test_copy_back_fetches_on_write_miss(self):
+        cache = small_cache(write_policy=COPY_BACK)
+        cache.access_raw(_W, 0, 4)
+        assert cache.stats.demand_fetches == 1  # fetch on write
+        assert cache.contains(0)
+
+    def test_write_through_no_allocate(self):
+        cache = small_cache(write_policy=WRITE_THROUGH)
+        cache.access_raw(_W, 0, 4)
+        assert not cache.contains(0)  # no allocation
+        assert cache.stats.write_throughs == 1
+        assert cache.stats.write_through_bytes == 4
+        assert cache.stats.demand_fetches == 0
+
+    def test_write_through_hit_still_writes_through(self):
+        cache = small_cache(write_policy=WRITE_THROUGH)
+        cache.access_raw(_R, 0, 4)
+        cache.access_raw(_W, 0, 4)
+        assert cache.stats.write_throughs == 1
+        assert cache.line_flags(0) & FLAG_DIRTY == 0  # never dirty
+
+    def test_write_through_allocate(self):
+        cache = small_cache(write_policy=WRITE_THROUGH_ALLOCATE)
+        cache.access_raw(_W, 0, 4)
+        assert cache.contains(0)
+        assert cache.stats.write_throughs == 1
+
+    def test_copy_back_requires_allocate(self):
+        with pytest.raises(ValueError, match="fetch on write"):
+            WritePolicy(WriteStrategy.COPY_BACK, allocate_on_write=False)
+
+
+class TestPurge:
+    def test_purge_empties_and_counts(self):
+        cache = small_cache()
+        cache.access_raw(_W, 0, 4)
+        cache.access_raw(_R, 16, 4)
+        cache.purge()
+        stats = cache.stats
+        assert len(cache) == 0
+        assert stats.purge_pushes == 2
+        assert stats.dirty_pushes == 1
+        assert stats.purges == 1
+
+    def test_purge_then_refetch_misses(self):
+        cache = small_cache()
+        cache.access_raw(_R, 0, 4)
+        cache.purge()
+        assert cache.access_raw(_R, 0, 4) is False
+
+
+class TestFlags:
+    def test_data_flag_only_for_data_kinds(self):
+        cache = small_cache()
+        cache.access_raw(_I, 0, 4)
+        cache.access_raw(_R, 16, 4)
+        assert cache.line_flags(0) & FLAG_DATA == 0
+        assert cache.line_flags(1) & FLAG_DATA
+
+    def test_ifetch_to_data_line_sets_data_flag(self):
+        cache = small_cache()
+        cache.access_raw(_I, 0, 4)
+        cache.access_raw(_R, 0, 4)
+        assert cache.line_flags(0) & FLAG_DATA
+
+    def test_data_push_classification_in_unified_cache(self):
+        cache = small_cache()
+        cache.access_raw(_I, 0, 4)   # instruction-only line
+        cache.access_raw(_R, 16, 4)  # data line
+        cache.purge()
+        assert cache.stats.pushes == 2
+        assert cache.stats.data_pushes == 1
+
+    def test_line_flags_absent(self):
+        assert small_cache().line_flags(0) is None
+
+
+class TestPrefetchAlways:
+    def test_prefetches_next_line(self):
+        cache = small_cache(fetch_policy=FetchPolicy.PREFETCH_ALWAYS)
+        cache.access_raw(_R, 0, 4)
+        assert cache.contains(16)  # line 1 prefetched
+        assert cache.stats.prefetches == 1
+        assert cache.stats.demand_fetches == 1
+
+    def test_prefetched_line_hit_counts_useful(self):
+        cache = small_cache(fetch_policy=FetchPolicy.PREFETCH_ALWAYS)
+        cache.access_raw(_R, 0, 4)
+        flags = cache.line_flags(1)
+        assert flags & FLAG_PREFETCHED and not flags & FLAG_REFERENCED
+        assert cache.access_raw(_R, 16, 4) is True  # prefetch hit
+        assert cache.stats.useful_prefetches == 1
+        assert cache.line_flags(1) & FLAG_REFERENCED
+
+    def test_probe_happens_on_every_reference(self):
+        cache = small_cache(fetch_policy=FetchPolicy.PREFETCH_ALWAYS)
+        cache.access_raw(_R, 0, 4)
+        # Evict line 1 indirectly by filling, then re-reference line 0:
+        cache.access_raw(_R, 32, 4)
+        cache.access_raw(_R, 48, 4)
+        cache.access_raw(_R, 64, 4)   # fills + prefetch 80 evicting older
+        prefetches_before = cache.stats.prefetches
+        if not cache.contains(16):
+            cache.access_raw(_R, 0, 4)  # hit, but line 1 absent -> prefetch
+            assert cache.stats.prefetches == prefetches_before + 1
+
+    def test_prefetch_eviction_can_push_dirty_line(self):
+        cache = small_cache(fetch_policy=FetchPolicy.PREFETCH_ALWAYS)
+        cache.access_raw(_W, 0, 4)
+        for address in (32, 64, 96):
+            cache.access_raw(_R, address, 4)
+        # The cache (4 lines) now overflows with prefetched neighbours;
+        # the dirty line eventually leaves and must be counted.
+        cache.access_raw(_R, 128, 4)
+        cache.access_raw(_R, 160, 4)
+        assert cache.stats.dirty_pushes >= 1
+
+
+class TestPrefetchTagged:
+    def test_prefetch_only_on_first_touch(self):
+        cache = Cache(CacheGeometry(128, 16), fetch_policy=FetchPolicy.PREFETCH_TAGGED)
+        cache.access_raw(_R, 0, 4)   # miss -> prefetch line 1
+        assert cache.stats.prefetches == 1
+        cache.access_raw(_R, 8, 4)   # hit, already-referenced: no probe
+        assert cache.stats.prefetches == 1
+
+    def test_first_touch_of_prefetched_line_probes(self):
+        cache = Cache(CacheGeometry(128, 16), fetch_policy=FetchPolicy.PREFETCH_TAGGED)
+        cache.access_raw(_R, 0, 4)    # prefetch line 1
+        cache.access_raw(_R, 16, 4)   # first touch of line 1 -> prefetch 2
+        assert cache.stats.prefetches == 2
+        assert cache.stats.useful_prefetches == 1
+
+
+class TestMissRatioInclusionProperty:
+    def test_bigger_lru_cache_never_misses_more(self, random_trace):
+        ratios = []
+        for capacity in (256, 512, 1024, 2048):
+            cache = Cache(CacheGeometry(capacity, 16))
+            for kind, address, size in zip(
+                random_trace.kinds.tolist(),
+                random_trace.addresses.tolist(),
+                random_trace.sizes.tolist(),
+            ):
+                cache.access_raw(kind, address, size)
+            ratios.append(cache.stats.miss_ratio)
+        assert ratios == sorted(ratios, reverse=True)

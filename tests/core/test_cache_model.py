@@ -1,0 +1,106 @@
+"""Model-based testing: the cache engine vs an independent reference model.
+
+A hypothesis ``RuleBasedStateMachine`` drives a :class:`repro.core.Cache`
+and a deliberately naive reference implementation (plain dicts and lists,
+no shared code) through arbitrary interleavings of reads, writes,
+instruction fetches and purges, checking after every step that residency,
+hit/miss outcomes, and the push/dirty accounting agree exactly.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core import Cache, CacheGeometry
+from repro.trace import AccessKind
+
+_LINE = 16
+_WAYS = 4
+_SETS = 2
+
+
+class NaiveLruCache:
+    """Reference model: per-set OrderedDicts, most recent last."""
+
+    def __init__(self):
+        self.sets = [OrderedDict() for _ in range(_SETS)]
+        self.misses = 0
+        self.references = 0
+        self.pushes = 0
+        self.dirty_pushes = 0
+
+    def access(self, kind, address):
+        line = address // _LINE
+        index = line % _SETS
+        resident = self.sets[index]
+        self.references += 1
+        hit = line in resident
+        if hit:
+            state = resident.pop(line)
+            if kind == AccessKind.WRITE:
+                state = True
+            resident[line] = state
+        else:
+            self.misses += 1
+            if len(resident) >= _WAYS:
+                _victim, dirty = resident.popitem(last=False)
+                self.pushes += 1
+                if dirty:
+                    self.dirty_pushes += 1
+            resident[line] = kind == AccessKind.WRITE
+        return hit
+
+    def purge(self):
+        for resident in self.sets:
+            for dirty in resident.values():
+                self.pushes += 1
+                if dirty:
+                    self.dirty_pushes += 1
+            resident.clear()
+
+    def resident_lines(self):
+        return sorted(line for resident in self.sets for line in resident)
+
+
+class CacheAgainstModel(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.cache = Cache(CacheGeometry(_SETS * _WAYS * _LINE, _LINE,
+                                         associativity=_WAYS))
+        self.model = NaiveLruCache()
+
+    @rule(
+        kind=st.sampled_from([AccessKind.IFETCH, AccessKind.READ, AccessKind.WRITE]),
+        slot=st.integers(0, 19),
+    )
+    def access(self, kind, slot):
+        address = slot * _LINE  # aligned: one line per access
+        expected = self.model.access(kind, address)
+        actual = self.cache.access_raw(int(kind), address, 4)
+        assert actual == expected
+
+    @rule()
+    def purge(self):
+        self.model.purge()
+        self.cache.purge()
+
+    @invariant()
+    def residency_matches(self):
+        assert self.cache.resident_lines() == self.model.resident_lines() or \
+            sorted(self.cache.resident_lines()) == self.model.resident_lines()
+
+    @invariant()
+    def counters_match(self):
+        stats = self.cache.stats
+        assert stats.references == self.model.references
+        assert stats.misses == self.model.misses
+        assert stats.pushes == self.model.pushes
+        assert stats.dirty_pushes == self.model.dirty_pushes
+
+
+CacheAgainstModel.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=80, deadline=None
+)
+TestCacheAgainstModel = CacheAgainstModel.TestCase

@@ -1,0 +1,66 @@
+"""Tests for the memory-timing / performance model."""
+
+import pytest
+
+from repro.core import CacheStats, MemoryTiming, PerformanceModel, traffic_ratio
+
+
+class TestMemoryTiming:
+    def test_line_transfer_cycles(self):
+        timing = MemoryTiming(memory_latency_cycles=10, bus_bytes_per_cycle=4)
+        assert timing.line_transfer_cycles(16) == pytest.approx(14.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="bus_bytes_per_cycle"):
+            MemoryTiming(bus_bytes_per_cycle=0)
+
+
+class TestPerformanceModel:
+    def test_effective_access_cycles(self):
+        model = PerformanceModel(MemoryTiming(1.0, 10.0, 4.0))
+        assert model.effective_access_cycles(0.0, 16) == pytest.approx(1.0)
+        assert model.effective_access_cycles(0.1, 16) == pytest.approx(1.0 + 1.4)
+
+    def test_miss_ratio_validation(self):
+        with pytest.raises(ValueError, match="miss_ratio"):
+            PerformanceModel().effective_access_cycles(1.5, 16)
+
+    def test_cpi_monotone_in_miss_ratio(self):
+        model = PerformanceModel()
+        assert model.cpi(0.02, 16) < model.cpi(0.10, 16)
+
+    def test_mips_and_clock_validation(self):
+        model = PerformanceModel()
+        assert model.mips(0.0, 16, clock_mhz=10) == pytest.approx(10.0 / model.base_cpi)
+        with pytest.raises(ValueError, match="clock"):
+            model.mips(0.0, 16, clock_mhz=0)
+
+    def test_intro_scenario_shape(self):
+        # The paper's introduction: 99% vs 98% hit ratio gains little; 90%
+        # vs 80% gains a lot.  The model must reproduce that asymmetry.
+        model = PerformanceModel(MemoryTiming(1.0, 12.0, 2.0))
+        small_gain = model.speedup(0.02, 0.01, 16)
+        large_gain = model.speedup(0.20, 0.10, 16)
+        assert large_gain > small_gain > 1.0
+
+    def test_speedup_identity(self):
+        model = PerformanceModel()
+        assert model.speedup(0.05, 0.05, 16) == pytest.approx(1.0)
+
+
+class TestTrafficRatio:
+    def test_basic(self):
+        stats = CacheStats(line_size=16)
+        stats.demand_fetches = 10
+        stats.dirty_pushes = 2
+        assert traffic_ratio(stats, reference_bytes=384) == pytest.approx(12 * 16 / 384)
+
+    def test_can_exceed_one(self):
+        # [Hil84]'s warning: a cache can *increase* bus traffic.
+        stats = CacheStats(line_size=32)
+        stats.demand_fetches = 100
+        assert traffic_ratio(stats, reference_bytes=100 * 4) > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="reference_bytes"):
+            traffic_ratio(CacheStats(), 0)

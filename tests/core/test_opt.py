@@ -1,0 +1,95 @@
+"""Tests for Belady's MIN (offline-optimal replacement)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import belady_min_misses, belady_miss_ratio, lru_stack_distances
+from repro.trace import AccessKind
+
+from ..conftest import make_trace
+
+
+def lru_misses(stream, capacity_lines):
+    profile = lru_stack_distances(np.asarray(stream))
+    return profile.total_references - profile.hits(capacity_lines)
+
+
+class TestBeladyMin:
+    def test_empty_stream(self):
+        assert belady_min_misses(np.array([], dtype=np.int64), 4) == 0
+
+    def test_all_cold(self):
+        assert belady_min_misses(np.array([0, 1, 2, 3]), 2) == 4
+
+    def test_repeats_hit(self):
+        assert belady_min_misses(np.array([5, 5, 5]), 1) == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity_lines"):
+            belady_min_misses(np.array([0]), 0)
+
+    def test_beats_lru_on_cyclic_scan(self):
+        # The canonical LRU worst case: a cyclic scan one line larger than
+        # the cache.  LRU misses everything; MIN keeps most of it.
+        stream = np.array(list(range(4)) * 6)
+        assert lru_misses(stream, 3) == 24
+        assert belady_min_misses(stream, 3) < 24
+
+    def test_textbook_example(self):
+        # Belady's standard page-reference example (3 frames).
+        stream = np.array([7, 0, 1, 2, 0, 3, 0, 4, 2, 3, 0, 3, 2, 1, 2, 0, 1, 7, 0, 1])
+        assert belady_min_misses(stream, 3) == 9
+
+    def test_equals_compulsory_when_everything_fits(self):
+        stream = np.array([0, 1, 2, 0, 1, 2])
+        assert belady_min_misses(stream, 8) == 3
+
+    def test_eviction_prefers_never_used_again(self):
+        # Line 1 is never referenced again; MIN must evict it, not line 0.
+        stream = np.array([0, 1, 2, 0, 2, 0])
+        assert belady_min_misses(stream, 2) == 3
+
+
+class TestBeladyMissRatio:
+    def test_from_trace(self):
+        # Three lines cycling through a 3-line cache: compulsory only.
+        trace = make_trace([(AccessKind.READ, a) for a in (0, 16, 32, 0, 16, 32)])
+        assert belady_miss_ratio(trace, 48, line_size=16) == pytest.approx(3 / 6)
+        # With a 2-line cache MIN drops exactly one more reference.
+        assert belady_miss_ratio(trace, 32, line_size=16) == pytest.approx(4 / 6)
+
+    def test_kind_filter(self, mixed_trace):
+        value = belady_miss_ratio(
+            trace=mixed_trace, capacity=64, kinds=[AccessKind.IFETCH]
+        )
+        assert 0.0 <= value <= 1.0
+
+    def test_empty_after_filter(self, tiny_trace):
+        assert belady_miss_ratio(tiny_trace, 64, kinds=[AccessKind.FETCH]) == 0.0
+
+    def test_capacity_validation(self, tiny_trace):
+        with pytest.raises(ValueError, match="multiple"):
+            belady_miss_ratio(tiny_trace, 100)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    stream=st.lists(st.integers(0, 24), min_size=1, max_size=200),
+    capacity=st.integers(1, 16),
+)
+def test_min_never_misses_more_than_lru(stream, capacity):
+    array = np.asarray(stream)
+    assert belady_min_misses(array, capacity) <= lru_misses(array, capacity)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    stream=st.lists(st.integers(0, 24), min_size=1, max_size=200),
+    capacity=st.integers(1, 16),
+)
+def test_min_at_least_compulsory(stream, capacity):
+    array = np.asarray(stream)
+    compulsory = len(set(stream))
+    assert belady_min_misses(array, capacity) >= compulsory

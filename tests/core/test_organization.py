@@ -1,0 +1,92 @@
+"""Tests for unified and split cache organizations."""
+
+import pytest
+
+from repro.core import CacheGeometry, SplitCache, UnifiedCache
+from repro.trace import AccessKind
+
+_I = int(AccessKind.IFETCH)
+_R = int(AccessKind.READ)
+_W = int(AccessKind.WRITE)
+_F = int(AccessKind.FETCH)
+
+
+class TestUnified:
+    def test_shares_one_array(self):
+        organization = UnifiedCache(CacheGeometry(64, 16))
+        organization.access_raw(_I, 0, 4)
+        organization.access_raw(_R, 0, 4)
+        assert organization.overall_stats().misses == 1  # second is a hit
+
+    def test_stats_objects_are_same(self):
+        organization = UnifiedCache(CacheGeometry(64, 16))
+        assert organization.overall_stats() is organization.instruction_stats()
+        assert organization.overall_stats() is organization.data_stats()
+
+
+class TestSplit:
+    def test_routing(self):
+        organization = SplitCache(CacheGeometry(64, 16))
+        organization.access_raw(_I, 0, 4)
+        organization.access_raw(_R, 0, 4)   # different cache: also a miss
+        assert organization.icache.contains(0)
+        assert organization.dcache.contains(0)
+        assert organization.overall_stats().misses == 2
+
+    def test_write_routing(self):
+        organization = SplitCache(CacheGeometry(64, 16))
+        organization.access_raw(_W, 0, 4)
+        assert organization.dcache.contains(0)
+        assert not organization.icache.contains(0)
+
+    def test_fetch_routing_default_instruction(self):
+        organization = SplitCache(CacheGeometry(64, 16))
+        organization.access_raw(_F, 0, 4)
+        assert organization.icache.contains(0)
+
+    def test_fetch_routing_to_data(self):
+        organization = SplitCache(CacheGeometry(64, 16), fetch_routing="data")
+        organization.access_raw(_F, 0, 4)
+        assert organization.dcache.contains(0)
+
+    def test_fetch_routing_validation(self):
+        with pytest.raises(ValueError, match="fetch_routing"):
+            SplitCache(CacheGeometry(64, 16), fetch_routing="both")
+
+    def test_asymmetric_geometries(self):
+        organization = SplitCache(
+            CacheGeometry(64, 16), data_geometry=CacheGeometry(128, 16)
+        )
+        assert organization.icache.capacity_lines == 4
+        assert organization.dcache.capacity_lines == 8
+
+    def test_line_size_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="line size"):
+            SplitCache(CacheGeometry(64, 16), data_geometry=CacheGeometry(64, 32))
+
+    def test_overall_stats_merge(self):
+        organization = SplitCache(CacheGeometry(64, 16))
+        organization.access_raw(_I, 0, 4)
+        organization.access_raw(_R, 16, 4)
+        organization.access_raw(_W, 32, 4)
+        combined = organization.overall_stats()
+        assert combined.references == 3
+        assert combined.misses == 3
+        assert combined.ifetch.references == 1
+        assert combined.write.references == 1
+
+    def test_purge_hits_both(self):
+        organization = SplitCache(CacheGeometry(64, 16))
+        organization.access_raw(_I, 0, 4)
+        organization.access_raw(_W, 0, 4)
+        organization.purge()
+        assert len(organization.icache) == 0
+        assert len(organization.dcache) == 0
+        assert organization.overall_stats().purge_pushes == 2
+
+    def test_instruction_and_data_stats_are_per_side(self):
+        organization = SplitCache(CacheGeometry(64, 16))
+        organization.access_raw(_I, 0, 4)
+        organization.access_raw(_R, 0, 4)
+        assert organization.instruction_stats().references == 1
+        assert organization.data_stats().references == 1

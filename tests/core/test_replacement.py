@@ -1,0 +1,89 @@
+"""Tests for replacement policies (driven through a small cache)."""
+
+import pytest
+
+from repro.core import Cache, CacheGeometry, policy_factory
+from repro.core.replacement import FIFO, LFU, LRU, RandomReplacement
+from repro.trace import AccessKind
+
+_R = int(AccessKind.READ)
+
+
+def resident_after(policy_name, addresses, capacity=64, seed=0):
+    cache = Cache(
+        CacheGeometry(capacity, 16), replacement=policy_factory(policy_name, seed)
+    )
+    for address in addresses:
+        cache.access_raw(_R, address, 4)
+    return sorted(cache.resident_lines())
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        # 4-line cache; touch 0..3, re-touch 0, add 4 -> line 1 evicted.
+        lines = resident_after("lru", [0, 16, 32, 48, 0, 64])
+        assert lines == [0, 2, 3, 4]
+
+    def test_hit_refreshes_recency(self):
+        lines = resident_after("lru", [0, 16, 32, 48, 16, 0, 64, 80])
+        # Eviction order after refreshes: 32, 48 leave first.
+        assert lines == [0, 1, 4, 5]
+
+
+class TestFIFO:
+    def test_ignores_hits(self):
+        # Re-touching line 0 does not save it under FIFO.
+        lines = resident_after("fifo", [0, 16, 32, 48, 0, 64])
+        assert lines == [1, 2, 3, 4]
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        addresses = [0, 0, 0, 16, 16, 32, 48, 64]
+        lines = resident_after("lfu", addresses)
+        # line 2 (one touch, oldest of the singletons) leaves first.
+        assert 0 in lines and 1 in lines
+        assert 2 not in lines
+
+    def test_counts_reset_on_eviction(self):
+        cache = Cache(CacheGeometry(32, 16), replacement=policy_factory("lfu"))
+        for address in [0, 0, 0, 16]:
+            cache.access_raw(_R, address, 4)
+        cache.access_raw(_R, 32, 4)  # evicts line 1 (count 1 vs 3)
+        assert sorted(cache.resident_lines()) == [0, 2]
+        # Line 0's old count must not protect a re-fetched line forever.
+        cache.access_raw(_R, 16, 4)  # evicts line 2 (count 1, older insert)
+        assert 1 in cache.resident_lines()
+
+
+class TestRandom:
+    def test_deterministic_for_seed(self):
+        addresses = list(range(0, 2048, 16)) * 3
+        first = resident_after("random", addresses, seed=7)
+        second = resident_after("random", addresses, seed=7)
+        assert first == second
+
+    def test_different_seeds_usually_differ(self):
+        addresses = list(range(0, 2048, 16)) * 3
+        outcomes = {tuple(resident_after("random", addresses, seed=s)) for s in range(5)}
+        assert len(outcomes) > 1
+
+    def test_capacity_respected(self):
+        lines = resident_after("random", list(range(0, 4096, 16)))
+        assert len(lines) == 4
+
+
+class TestFactory:
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown replacement policy"):
+            policy_factory("clock")
+
+    def test_names(self):
+        assert LRU.name == "lru"
+        assert FIFO.name == "fifo"
+        assert LFU().name == "lfu"
+        assert RandomReplacement().name == "random"
+
+    def test_factory_returns_fresh_instances(self):
+        make = policy_factory("lfu")
+        assert make() is not make()

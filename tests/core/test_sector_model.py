@@ -1,0 +1,103 @@
+"""Model-based testing: the sector cache vs an independent reference model."""
+
+from collections import OrderedDict
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core import SectorCache, SectorGeometry
+from repro.trace import AccessKind
+
+_SECTORS = 4
+_SECTOR_BYTES = 16
+_SUBBLOCK = 4
+_SUBBLOCKS = _SECTOR_BYTES // _SUBBLOCK
+
+
+class NaiveSectorCache:
+    """Reference model: LRU dict of sectors, each a set of valid sub-blocks."""
+
+    def __init__(self):
+        self.sectors: OrderedDict[int, dict[int, bool]] = OrderedDict()
+        self.references = 0
+        self.misses = 0
+        self.fetches = 0
+        self.pushes = 0
+        self.dirty_pushes = 0
+
+    def access(self, kind, address):
+        subblock = address // _SUBBLOCK
+        sector, offset = divmod(subblock, _SUBBLOCKS)
+        self.references += 1
+        resident = self.sectors.get(sector)
+        if resident is None:
+            if len(self.sectors) >= _SECTORS:
+                _victim, blocks = self.sectors.popitem(last=False)
+                for dirty in blocks.values():
+                    self.pushes += 1
+                    if dirty:
+                        self.dirty_pushes += 1
+            resident = {}
+            self.sectors[sector] = resident
+        else:
+            self.sectors.move_to_end(sector)
+        hit = offset in resident
+        if not hit:
+            self.misses += 1
+            self.fetches += 1
+            resident[offset] = False
+        if kind == AccessKind.WRITE:
+            resident[offset] = True
+        return hit
+
+    def purge(self):
+        for blocks in self.sectors.values():
+            for dirty in blocks.values():
+                self.pushes += 1
+                if dirty:
+                    self.dirty_pushes += 1
+        self.sectors.clear()
+
+
+class SectorAgainstModel(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.cache = SectorCache(
+            SectorGeometry(_SECTORS * _SECTOR_BYTES, _SECTOR_BYTES, _SUBBLOCK)
+        )
+        self.model = NaiveSectorCache()
+
+    @rule(
+        kind=st.sampled_from([AccessKind.READ, AccessKind.WRITE]),
+        slot=st.integers(0, 39),
+    )
+    def access(self, kind, slot):
+        address = slot * _SUBBLOCK
+        expected = self.model.access(kind, address)
+        actual = self.cache.access_raw(int(kind), address, _SUBBLOCK)
+        assert actual == expected
+
+    @rule()
+    def purge(self):
+        self.model.purge()
+        self.cache.purge()
+
+    @invariant()
+    def counters_match(self):
+        stats = self.cache.stats
+        assert stats.references == self.model.references
+        assert stats.misses == self.model.misses
+        assert stats.demand_fetches == self.model.fetches
+        assert stats.pushes == self.model.pushes
+        assert stats.dirty_pushes == self.model.dirty_pushes
+
+    @invariant()
+    def sector_count_matches(self):
+        assert len(self.cache) == len(self.model.sectors)
+
+
+SectorAgainstModel.TestCase.settings = settings(
+    max_examples=50, stateful_step_count=70, deadline=None
+)
+TestSectorAgainstModel = SectorAgainstModel.TestCase

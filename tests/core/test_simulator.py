@@ -1,0 +1,89 @@
+"""Tests for the drive loop and multiprogramming helper."""
+
+import pytest
+
+from repro.core import (
+    CacheGeometry,
+    SplitCache,
+    UnifiedCache,
+    simulate,
+    simulate_multiprogrammed,
+)
+from repro.trace import AccessKind
+
+from ..conftest import make_trace
+
+_R = AccessKind.READ
+
+
+class TestSimulate:
+    def test_report_fields(self, tiny_trace):
+        report = simulate(tiny_trace, UnifiedCache(CacheGeometry(64, 16)))
+        assert report.trace_name == "test"
+        assert report.references == 7
+        assert report.purge_interval is None
+        assert report.miss_ratio == pytest.approx(6 / 7)
+
+    def test_limit(self, tiny_trace):
+        report = simulate(tiny_trace, UnifiedCache(CacheGeometry(64, 16)), limit=4)
+        assert report.references == 4
+
+    def test_purge_interval_boundary(self):
+        trace = make_trace([(_R, 0)] * 6)
+        organization = UnifiedCache(CacheGeometry(64, 16))
+        report = simulate(trace, organization, purge_interval=3)
+        # Purges after refs 3 and 6; misses at refs 1 and 4.
+        assert report.overall.purges == 2
+        assert report.overall.misses == 2
+
+    def test_purge_interval_validation(self, tiny_trace):
+        with pytest.raises(ValueError, match="purge_interval"):
+            simulate(tiny_trace, UnifiedCache(CacheGeometry(64, 16)), purge_interval=0)
+
+    def test_limit_validation(self, tiny_trace):
+        with pytest.raises(ValueError, match="limit"):
+            simulate(tiny_trace, UnifiedCache(CacheGeometry(64, 16)), limit=-1)
+
+    def test_report_is_a_snapshot(self, tiny_trace):
+        organization = UnifiedCache(CacheGeometry(64, 16))
+        report = simulate(tiny_trace, organization, limit=3)
+        before = report.overall.references
+        simulate(tiny_trace, organization)  # reuse mutates the organization
+        assert report.overall.references == before
+
+    def test_split_report_miss_ratios(self, mixed_trace):
+        report = simulate(mixed_trace, SplitCache(CacheGeometry(64, 16)))
+        assert 0.0 <= report.instruction_miss_ratio <= 1.0
+        assert 0.0 <= report.data_miss_ratio <= 1.0
+
+    def test_empty_trace(self):
+        report = simulate(make_trace([]), UnifiedCache(CacheGeometry(64, 16)))
+        assert report.references == 0
+        assert report.miss_ratio == 0.0
+
+
+class TestMultiprogrammed:
+    def test_single_trace_passthrough(self, tiny_trace):
+        report = simulate_multiprogrammed(
+            [tiny_trace], lambda: UnifiedCache(CacheGeometry(64, 16)), quantum=3
+        )
+        assert report.references == len(tiny_trace)
+        assert report.overall.purges == 2
+
+    def test_mix_interleaves_and_purges(self):
+        a = make_trace([(_R, i * 16) for i in range(8)], name="A")
+        b = make_trace([(_R, i * 16) for i in range(8)], name="B")
+        report = simulate_multiprogrammed(
+            [a, b], lambda: UnifiedCache(CacheGeometry(256, 16)), quantum=4
+        )
+        assert report.references == 16
+        assert report.overall.purges == 4
+        # Purging on every switch makes everything a cold miss.
+        assert report.miss_ratio == 1.0
+
+    def test_length_bound(self):
+        a = make_trace([(_R, i * 16) for i in range(8)], name="A")
+        report = simulate_multiprogrammed(
+            [a, a], lambda: UnifiedCache(CacheGeometry(256, 16)), quantum=4, length=10
+        )
+        assert report.references == 10

@@ -1,0 +1,109 @@
+"""Tests for simulation statistics."""
+
+import pytest
+
+from repro.core import CacheStats, ClassCounts
+from repro.trace import AccessKind
+
+
+class TestClassCounts:
+    def test_hits_and_miss_ratio(self):
+        counts = ClassCounts(references=10, misses=3)
+        assert counts.hits == 7
+        assert counts.miss_ratio == pytest.approx(0.3)
+
+    def test_empty_miss_ratio_is_zero(self):
+        assert ClassCounts().miss_ratio == 0.0
+
+    def test_merge(self):
+        a = ClassCounts(10, 2)
+        a.merge(ClassCounts(5, 4))
+        assert (a.references, a.misses) == (15, 6)
+
+
+class TestCacheStats:
+    def test_totals(self):
+        stats = CacheStats()
+        stats.ifetch.references = 50
+        stats.ifetch.misses = 5
+        stats.read.references = 30
+        stats.read.misses = 6
+        stats.write.references = 20
+        stats.write.misses = 4
+        assert stats.references == 100
+        assert stats.misses == 15
+        assert stats.miss_ratio == pytest.approx(0.15)
+        assert stats.instruction_miss_ratio == pytest.approx(0.1)
+        assert stats.data_miss_ratio == pytest.approx(0.2)
+
+    def test_counts_for(self):
+        stats = CacheStats()
+        for kind in AccessKind:
+            assert stats.counts_for(kind) is getattr(stats, kind.name.lower())
+
+    def test_dirty_push_fractions(self):
+        stats = CacheStats()
+        stats.replacement_pushes = 6
+        stats.purge_pushes = 4
+        stats.dirty_pushes = 5
+        stats.data_pushes = 8
+        stats.dirty_data_pushes = 4
+        assert stats.pushes == 10
+        assert stats.dirty_push_fraction == pytest.approx(0.5)
+        assert stats.dirty_data_push_fraction == pytest.approx(0.5)
+
+    def test_zero_pushes_fraction(self):
+        assert CacheStats().dirty_push_fraction == 0.0
+        assert CacheStats().dirty_data_push_fraction == 0.0
+
+    def test_traffic_accounting(self):
+        stats = CacheStats(line_size=16)
+        stats.demand_fetches = 10
+        stats.prefetches = 5
+        stats.dirty_pushes = 3
+        stats.write_through_bytes = 24
+        assert stats.lines_fetched == 15
+        assert stats.memory_traffic_lines == 18
+        assert stats.memory_traffic_bytes == 18 * 16 + 24
+
+    def test_prefetch_accuracy(self):
+        stats = CacheStats()
+        assert stats.prefetch_accuracy == 0.0
+        stats.prefetches = 4
+        stats.useful_prefetches = 3
+        assert stats.prefetch_accuracy == pytest.approx(0.75)
+
+    def test_merge_accumulates_everything(self):
+        a = CacheStats(line_size=16)
+        a.read.references = 3
+        a.demand_fetches = 2
+        a.purges = 1
+        b = CacheStats(line_size=16)
+        b.read.references = 7
+        b.read.misses = 1
+        b.demand_fetches = 4
+        a.merge(b)
+        assert a.read.references == 10
+        assert a.demand_fetches == 6
+        assert a.purges == 1
+
+    def test_merge_line_size_conflict(self):
+        a = CacheStats(line_size=16)
+        a.read.references = 1
+        b = CacheStats(line_size=32)
+        b.read.references = 1
+        with pytest.raises(ValueError, match="line size"):
+            a.merge(b)
+
+    def test_merge_empty_other_line_size_ok(self):
+        a = CacheStats(line_size=16)
+        a.read.references = 1
+        a.merge(CacheStats(line_size=32))  # no references: compatible
+        assert a.line_size == 16
+
+    def test_snapshot_is_independent(self):
+        a = CacheStats()
+        a.read.references = 5
+        snap = a.snapshot()
+        a.read.references = 99
+        assert snap.read.references == 5

@@ -1,0 +1,88 @@
+"""Tests for warm-start measurement and statistics reset."""
+
+import pytest
+
+from repro.core import (
+    CacheGeometry,
+    SectorCacheOrganization,
+    SectorGeometry,
+    SplitCache,
+    UnifiedCache,
+    simulate,
+)
+from repro.trace import AccessKind
+
+from ..conftest import make_trace
+
+_R = AccessKind.READ
+
+
+class TestResetStatistics:
+    def test_counters_zeroed_contents_kept(self):
+        organization = UnifiedCache(CacheGeometry(64, 16))
+        organization.access_raw(int(_R), 0, 4)
+        organization.reset_statistics()
+        assert organization.overall_stats().references == 0
+        # The line is still resident: the next access hits.
+        assert organization.access_raw(int(_R), 0, 4) is True
+        assert organization.overall_stats().misses == 0
+
+    def test_split_resets_both_sides(self):
+        organization = SplitCache(CacheGeometry(64, 16))
+        organization.access_raw(int(AccessKind.IFETCH), 0, 4)
+        organization.access_raw(int(_R), 0, 4)
+        organization.reset_statistics()
+        assert organization.instruction_stats().references == 0
+        assert organization.data_stats().references == 0
+
+
+class TestWarmup:
+    def test_warmup_removes_cold_misses(self):
+        # Trace: lines 0..3 then the same again — the second half hits.
+        addresses = [0, 16, 32, 48] * 10
+        trace = make_trace([(_R, a) for a in addresses])
+        cold = simulate(trace, UnifiedCache(CacheGeometry(64, 16)))
+        warm = simulate(trace, UnifiedCache(CacheGeometry(64, 16)), warmup=4)
+        assert cold.overall.misses == 4
+        assert warm.overall.misses == 0
+        assert warm.references == len(trace) - 4
+
+    def test_warmup_longer_than_trace(self):
+        trace = make_trace([(_R, 0)] * 3)
+        report = simulate(trace, UnifiedCache(CacheGeometry(64, 16)), warmup=100)
+        assert report.references == 0
+
+    def test_warmup_counts_toward_purge_clock(self):
+        trace = make_trace([(_R, 0)] * 10)
+        report = simulate(
+            trace, UnifiedCache(CacheGeometry(64, 16)), purge_interval=4, warmup=4
+        )
+        # Purge fired at reference 4 (inside warmup) and at 8.
+        assert report.overall.purges == 1  # only the measured one is counted
+        # After warmup's purge, reference 5 misses again.
+        assert report.overall.misses >= 1
+
+    def test_negative_warmup_rejected(self, tiny_trace):
+        with pytest.raises(ValueError, match="warmup"):
+            simulate(tiny_trace, UnifiedCache(CacheGeometry(64, 16)), warmup=-1)
+
+
+class TestSectorOrganization:
+    def test_simulate_integration(self, tiny_trace):
+        organization = SectorCacheOrganization(SectorGeometry(64, 16, 4))
+        report = simulate(tiny_trace, organization, purge_interval=5)
+        assert report.references == len(tiny_trace)
+        assert 0.0 <= report.miss_ratio <= 1.0
+        assert report.overall.purges == 1
+
+    def test_stats_are_shared_views(self):
+        organization = SectorCacheOrganization(SectorGeometry(64, 16, 4))
+        assert organization.overall_stats() is organization.instruction_stats()
+        assert organization.overall_stats() is organization.data_stats()
+
+    def test_reset(self):
+        organization = SectorCacheOrganization(SectorGeometry(64, 16, 4))
+        organization.access_raw(int(_R), 0, 4)
+        organization.reset_statistics()
+        assert organization.overall_stats().references == 0
+        assert organization.access_raw(int(_R), 0, 4) is True  # still resident

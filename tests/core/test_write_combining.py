@@ -1,0 +1,125 @@
+"""Tests for the write-combining buffer (Section 3.3's exception)."""
+
+import pytest
+
+from repro.core import Cache, CacheGeometry, WritePolicy, WriteStrategy
+from repro.trace import AccessKind
+
+_W = int(AccessKind.WRITE)
+_R = int(AccessKind.READ)
+
+
+def combining_cache(width=4):
+    policy = WritePolicy(
+        WriteStrategy.WRITE_THROUGH, allocate_on_write=False, combining_bytes=width
+    )
+    return Cache(CacheGeometry(256, 16), write_policy=policy)
+
+
+class TestPolicyValidation:
+    def test_copy_back_rejects_combining(self):
+        with pytest.raises(ValueError, match="write-through only"):
+            WritePolicy(WriteStrategy.COPY_BACK, True, combining_bytes=4)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError, match="combining_bytes"):
+            WritePolicy(WriteStrategy.WRITE_THROUGH, False, combining_bytes=-1)
+
+
+class TestCombining:
+    def test_papers_example(self):
+        # "two 2-byte writes are combined into a four byte write."
+        cache = combining_cache(width=4)
+        cache.access_raw(_W, 0, 2)
+        cache.access_raw(_W, 2, 2)
+        assert cache.stats.write_throughs == 1
+        assert cache.stats.combined_writes == 1
+        assert cache.stats.write_through_bytes == 4
+
+    def test_different_words_not_combined(self):
+        cache = combining_cache(width=4)
+        cache.access_raw(_W, 0, 2)
+        cache.access_raw(_W, 4, 2)
+        assert cache.stats.write_throughs == 2
+        assert cache.stats.combined_writes == 0
+
+    def test_only_consecutive_writes_combine(self):
+        # A store, an intervening store elsewhere, then a store back to the
+        # first word: the buffer only holds the last word.
+        cache = combining_cache(width=4)
+        cache.access_raw(_W, 0, 2)
+        cache.access_raw(_W, 8, 2)
+        cache.access_raw(_W, 2, 2)
+        assert cache.stats.write_throughs == 3
+
+    def test_reads_do_not_disturb_the_buffer(self):
+        cache = combining_cache(width=4)
+        cache.access_raw(_W, 0, 2)
+        cache.access_raw(_R, 64, 4)
+        cache.access_raw(_W, 2, 2)
+        assert cache.stats.write_throughs == 1
+        assert cache.stats.combined_writes == 1
+
+    def test_purge_drains_the_buffer(self):
+        cache = combining_cache(width=4)
+        cache.access_raw(_W, 0, 2)
+        cache.purge()
+        cache.access_raw(_W, 2, 2)
+        assert cache.stats.write_throughs == 2
+
+    def test_no_combining_by_default(self):
+        cache = Cache(
+            CacheGeometry(256, 16),
+            write_policy=WritePolicy(WriteStrategy.WRITE_THROUGH, False),
+        )
+        cache.access_raw(_W, 0, 2)
+        cache.access_raw(_W, 2, 2)
+        assert cache.stats.write_throughs == 2
+        assert cache.stats.combined_writes == 0
+
+    def test_wide_store_spanning_words(self):
+        cache = combining_cache(width=4)
+        cache.access_raw(_W, 0, 8)  # covers words 0 and 1
+        assert cache.stats.write_throughs == 2
+        cache.access_raw(_W, 4, 2)  # still in word 1: combined
+        assert cache.stats.combined_writes == 1
+
+    def test_combining_halves_sequential_store_transactions(self):
+        wide = combining_cache(width=8)
+        narrow = Cache(
+            CacheGeometry(256, 16),
+            write_policy=WritePolicy(WriteStrategy.WRITE_THROUGH, False),
+        )
+        for address in range(0, 128, 2):
+            wide.access_raw(_W, address, 2)
+            narrow.access_raw(_W, address, 2)
+        assert narrow.stats.write_throughs == 64
+        assert wide.stats.write_throughs == 16  # 8-byte buffer: 4 stores each
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    addresses=st.lists(st.integers(0, 255), min_size=1, max_size=120),
+    width=st.sampled_from([2, 4, 8]),
+)
+def test_combining_invariants(addresses, width):
+    """Combining never invents or loses stores, and only ever helps."""
+    combined = combining_cache(width=width)
+    plain = Cache(
+        CacheGeometry(256, 16),
+        write_policy=WritePolicy(WriteStrategy.WRITE_THROUGH, False),
+    )
+    for address in addresses:
+        combined.access_raw(_W, address * 2, 2)
+        plain.access_raw(_W, address * 2, 2)
+    stats = combined.stats
+    # Every store either went through or was combined — none vanish.
+    assert stats.write_throughs + stats.combined_writes == plain.stats.write_throughs
+    # Combining can only reduce transactions.
+    assert stats.write_throughs <= plain.stats.write_throughs
+    # Bytes written are identical: combining merges transactions, not data.
+    assert stats.write_through_bytes == plain.stats.write_through_bytes

@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestBasicCommands:
+    def test_list_traces(self, capsys):
+        code, out = run_cli(capsys, "list-traces")
+        assert code == 0
+        assert "MVS1" in out and "ZGREP" in out
+        assert out.count("\n") >= 57
+
+    def test_characterize(self, capsys):
+        code, out = run_cli(capsys, "characterize", "ZGREP", "--length", "5000")
+        assert code == 0
+        assert "ZGREP" in out and "%branch" in out
+
+    def test_generate_roundtrip(self, capsys, tmp_path):
+        target = tmp_path / "out.rtrc"
+        code, out = run_cli(
+            capsys, "generate", "PLO", "-o", str(target), "--length", "2000"
+        )
+        assert code == 0
+        assert target.exists()
+        from repro.trace import load_trace
+
+        assert len(load_trace(target)) == 2000
+
+    def test_simulate_unified(self, capsys):
+        code, out = run_cli(
+            capsys, "simulate", "ZGREP", "--size", "4096", "--length", "5000"
+        )
+        assert code == 0
+        assert "miss ratio" in out
+        assert "4KiB, 16B lines, fully assoc" in out
+
+    def test_simulate_split_with_options(self, capsys):
+        code, out = run_cli(
+            capsys, "simulate", "ZGREP", "--size", "4096", "--split",
+            "--purge", "2000", "--replacement", "fifo", "--write",
+            "write-through", "--fetch", "prefetch-always", "--length", "5000",
+        )
+        assert code == 0
+        assert "split I/D" in out
+        assert "fifo, write-through, prefetch-always" in out
+
+
+class TestExperimentCommands:
+    def test_table1_subset_sizes(self, capsys):
+        code, out = run_cli(capsys, "table1", "--length", "3000",
+                            "--sizes", "256,1024")
+        assert code == 0
+        assert "Table 1" in out and "1024" in out
+
+    def test_fig2(self, capsys):
+        code, out = run_cli(capsys, "fig2")
+        assert code == 0
+        assert "Hard80" in out
+
+    def test_table3_runs(self, capsys):
+        code, out = run_cli(capsys, "table3", "--length", "4000")
+        assert code == 0
+        assert "Average" in out
+
+    def test_fudge(self, capsys):
+        code, out = run_cli(capsys, "fudge", "--length", "4000")
+        assert code == 0
+        assert "Fudge factors" in out
+
+
+class TestErrors:
+    def test_unknown_command_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_trace_raises(self, capsys):
+        with pytest.raises(KeyError):
+            main(["simulate", "NOPE"])
+
+
+class TestReportCommand:
+    def test_report_to_file(self, capsys, tmp_path):
+        target = tmp_path / "report.md"
+        code = main(["report", "--length", "4000", "--no-prefetch",
+                     "-o", str(target)])
+        assert code == 0
+        text = target.read_text()
+        assert "# Experiment report" in text
+        assert "## Table 5" in text
+
+
+class TestMachinesCommand:
+    def test_listing(self, capsys):
+        code, out = run_cli(capsys, "machines")
+        assert code == 0
+        assert "DEC VAX 11/780" in out and "Zilog Z80000" in out
+
+    def test_simulate_on_machine(self, capsys):
+        code, out = run_cli(capsys, "machines", "--on", "DEC VAX 11/780",
+                            "--trace", "ZGREP", "--length", "4000")
+        assert code == 0
+        assert "miss ratio" in out
+
+    def test_unknown_machine(self, capsys):
+        with pytest.raises(SystemExit, match="unknown machine"):
+            main(["machines", "--on", "PDP-11"])
+
+
+class TestStudyCommand:
+    def test_linesize(self, capsys):
+        code, out = run_cli(capsys, "study", "linesize", "--capacity", "1024",
+                            "--length", "3000")
+        assert code == 0
+        assert "Line-size study" in out
+
+    def test_associativity(self, capsys):
+        code, out = run_cli(capsys, "study", "associativity",
+                            "--capacity", "1024", "--length", "3000")
+        assert code == 0
+        assert "Associativity study" in out

@@ -1,0 +1,119 @@
+"""Tests for the Table 2 analyzer, especially the branch heuristic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import AccessKind, Trace, branch_fraction, characterize
+
+from ..conftest import make_trace
+
+I = AccessKind.IFETCH
+R = AccessKind.READ
+W = AccessKind.WRITE
+
+
+class TestBranchHeuristic:
+    """Section 3.2: branch iff next ifetch is behind, or > 8 bytes ahead."""
+
+    def test_sequential_stream_has_no_branches(self):
+        trace = make_trace([(I, a) for a in range(0, 64, 4)])
+        assert branch_fraction(trace) == 0.0
+
+    def test_backward_jump_counts(self):
+        trace = make_trace([(I, 0), (I, 4), (I, 0)])
+        # The second ifetch (4 -> 0) is a branch; 2 ifetches have successors.
+        assert branch_fraction(trace) == pytest.approx(0.5)
+
+    def test_exactly_eight_bytes_is_not_a_branch(self):
+        trace = make_trace([(I, 0), (I, 8)])
+        assert branch_fraction(trace) == 0.0
+
+    def test_nine_bytes_is_a_branch(self):
+        trace = make_trace([(I, 0), (I, 9)])
+        assert branch_fraction(trace) == 1.0
+
+    def test_short_forward_jump_is_missed(self):
+        # The paper: "This mechanism will miss a few branches which jump
+        # over fewer than 8 bytes."
+        trace = make_trace([(I, 0), (I, 6)])
+        assert branch_fraction(trace) == 0.0
+
+    def test_data_references_are_ignored(self):
+        trace = make_trace([(I, 0), (R, 0x9999), (I, 4), (W, 0x100), (I, 8)])
+        assert branch_fraction(trace) == 0.0
+
+    def test_fewer_than_two_ifetches(self):
+        assert branch_fraction(make_trace([(I, 0)])) == 0.0
+        assert branch_fraction(make_trace([(R, 0)])) == 0.0
+        assert branch_fraction(Trace.empty()) == 0.0
+
+    def test_custom_window(self):
+        trace = make_trace([(I, 0), (I, 12)])
+        assert branch_fraction(trace, window=16) == 0.0
+        assert branch_fraction(trace, window=8) == 1.0
+
+
+class TestCharacterize:
+    def test_mix_fractions(self, mixed_trace):
+        row = characterize(mixed_trace)
+        assert row.fraction_ifetch == pytest.approx(5 / 8)
+        assert row.fraction_read == pytest.approx(2 / 8)
+        assert row.fraction_write == pytest.approx(1 / 8)
+        assert row.fraction_fetch == 0.0
+        assert row.length == 8
+
+    def test_footprints(self, mixed_trace):
+        row = characterize(mixed_trace)
+        assert row.instruction_lines == 2  # 16B lines 0x100 and 0x110
+        assert row.data_lines == 2
+        assert row.address_space_bytes == (2 + 2) * 16
+
+    def test_branch_fraction_of_fixture(self, mixed_trace):
+        # Ifetches 0x1000,0x1004,0x1008,0x1100,0x1104: only 0x1008->0x1100
+        # jumps more than 8 bytes; 4 ifetches have successors.
+        assert characterize(mixed_trace).branch_fraction == pytest.approx(0.25)
+
+    def test_metadata_copied(self, mixed_trace):
+        row = characterize(mixed_trace)
+        assert row.name == "test"
+        assert row.architecture == "testarch"
+
+    def test_reads_per_write(self, mixed_trace):
+        assert characterize(mixed_trace).reads_per_write == pytest.approx(2.0)
+
+    def test_reads_per_write_no_writes(self, tiny_trace):
+        assert characterize(tiny_trace).reads_per_write == float("inf")
+
+    def test_references_per_instruction(self, mixed_trace):
+        assert characterize(mixed_trace).references_per_instruction == pytest.approx(8 / 5)
+
+    def test_monitor_trace_counts_fetch_lines_in_aspace(self):
+        trace = make_trace([(AccessKind.FETCH, 0), (AccessKind.FETCH, 64), (W, 128)])
+        row = characterize(trace)
+        assert row.fraction_fetch == pytest.approx(2 / 3)
+        assert row.instruction_lines == 0
+        assert row.data_lines == 1
+        assert row.address_space_bytes == 3 * 16
+
+    def test_empty_trace(self):
+        row = characterize(Trace.empty())
+        assert row.length == 0
+        assert row.branch_fraction == 0.0
+        assert row.address_space_bytes == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 2**20), min_size=2, max_size=80))
+def test_branch_fraction_is_a_probability(addresses):
+    trace = make_trace([(I, a) for a in addresses])
+    assert 0.0 <= branch_fraction(trace) <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 2**20)), min_size=1, max_size=60))
+def test_mix_fractions_sum_to_one(entries):
+    trace = make_trace([(AccessKind(k), a) for k, a in entries])
+    row = characterize(trace)
+    total = row.fraction_ifetch + row.fraction_read + row.fraction_write + row.fraction_fetch
+    assert total == pytest.approx(1.0)

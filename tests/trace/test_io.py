@@ -1,0 +1,146 @@
+"""Tests for trace file I/O."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import (
+    AccessKind,
+    MemoryAccess,
+    Trace,
+    TraceMetadata,
+    load_trace,
+    read_binary_trace,
+    read_text_trace,
+    save_trace,
+    write_binary_trace,
+    write_text_trace,
+)
+
+from ..conftest import make_trace
+
+
+@pytest.fixture
+def sample_trace():
+    trace = make_trace(
+        [
+            (AccessKind.IFETCH, 0x1000, 4),
+            (AccessKind.READ, 0x2000, 8),
+            (AccessKind.WRITE, 0x2008, 2),
+            (AccessKind.FETCH, 0x1004, 2),
+        ],
+        name="sample",
+        architecture="VAX 11/780",
+        language="C",
+    )
+    return trace
+
+
+class TestTextFormat:
+    def test_roundtrip_via_stream(self, sample_trace):
+        buffer = io.StringIO()
+        write_text_trace(sample_trace, buffer)
+        buffer.seek(0)
+        restored = read_text_trace(buffer)
+        assert restored == sample_trace
+        assert restored.metadata == sample_trace.metadata
+
+    def test_roundtrip_via_file(self, sample_trace, tmp_path):
+        path = tmp_path / "trace.txt"
+        write_text_trace(sample_trace, path)
+        assert read_text_trace(path) == sample_trace
+
+    def test_plain_dinero_without_header(self):
+        text = "r 100 4\nw 200 8\ni 1f0\n"
+        trace = read_text_trace(io.StringIO(text))
+        assert len(trace) == 3
+        assert trace[0] == MemoryAccess(AccessKind.READ, 0x100, 4)
+        assert trace[2] == MemoryAccess(AccessKind.IFETCH, 0x1F0, 4)  # default size
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# a comment\n\nr 10 4\n"
+        assert len(read_text_trace(io.StringIO(text))) == 1
+
+    def test_malformed_line_reports_lineno(self):
+        with pytest.raises(ValueError, match="line 2"):
+            read_text_trace(io.StringIO("r 10 4\nbogus line here extra\n"))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="line 1"):
+            read_text_trace(io.StringIO("q 10 4\n"))
+
+
+class TestBinaryFormat:
+    def test_roundtrip(self, sample_trace, tmp_path):
+        path = tmp_path / "trace.rtrc"
+        write_binary_trace(sample_trace, path)
+        restored = read_binary_trace(path)
+        assert restored == sample_trace
+        assert restored.metadata == sample_trace.metadata
+
+    def test_empty_trace_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.rtrc"
+        write_binary_trace(Trace.empty(TraceMetadata(name="nil")), path)
+        restored = read_binary_trace(path)
+        assert len(restored) == 0
+        assert restored.metadata.name == "nil"
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            read_binary_trace(io.BytesIO(b"NOPE" + b"\0" * 20))
+
+    def test_short_header_rejected(self):
+        with pytest.raises(ValueError, match="short header"):
+            read_binary_trace(io.BytesIO(b"RT"))
+
+    def test_truncated_arrays_rejected(self, sample_trace):
+        buffer = io.BytesIO()
+        write_binary_trace(sample_trace, buffer)
+        data = buffer.getvalue()
+        with pytest.raises(ValueError, match="truncated"):
+            read_binary_trace(io.BytesIO(data[:-4]))
+
+
+class TestSaveLoad:
+    def test_suffix_dispatch(self, sample_trace, tmp_path):
+        binary = tmp_path / "t.rtrc"
+        text = tmp_path / "t.trace"
+        save_trace(sample_trace, binary)
+        save_trace(sample_trace, text)
+        assert load_trace(binary) == sample_trace
+        assert load_trace(text) == sample_trace
+        # Binary file should not be valid UTF-8 text with header.
+        assert binary.read_bytes()[:4] == b"RTRC"
+
+    def test_bad_target_type(self, sample_trace):
+        with pytest.raises(TypeError):
+            write_text_trace(sample_trace, 42)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 3), st.integers(0, 2**40), st.integers(1, 64)
+        ),
+        max_size=40,
+    )
+)
+def test_both_formats_roundtrip_arbitrary_traces(entries):
+    trace = Trace(
+        [k for k, _, _ in entries],
+        [a for _, a, _ in entries],
+        [s for _, _, s in entries],
+        TraceMetadata(name="prop", extra={"n": len(entries)}),
+    )
+    text_buffer = io.StringIO()
+    write_text_trace(trace, text_buffer)
+    text_buffer.seek(0)
+    assert read_text_trace(text_buffer) == trace
+
+    binary_buffer = io.BytesIO()
+    write_binary_trace(trace, binary_buffer)
+    binary_buffer.seek(0)
+    assert read_binary_trace(binary_buffer) == trace

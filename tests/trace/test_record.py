@@ -1,0 +1,77 @@
+"""Tests for memory-reference records."""
+
+import pytest
+
+from repro.trace import AccessKind, MemoryAccess
+
+
+class TestAccessKind:
+    def test_mnemonic_roundtrip(self):
+        for kind in AccessKind:
+            assert AccessKind.from_mnemonic(kind.mnemonic) is kind
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(ValueError, match="mnemonic"):
+            AccessKind.from_mnemonic("x")
+
+    def test_is_write(self):
+        assert AccessKind.WRITE.is_write
+        assert not AccessKind.READ.is_write
+        assert not AccessKind.IFETCH.is_write
+        assert not AccessKind.FETCH.is_write
+
+    def test_is_instruction(self):
+        assert AccessKind.IFETCH.is_instruction
+        assert not AccessKind.FETCH.is_instruction  # ambiguous, not definite
+
+    def test_is_data(self):
+        assert AccessKind.READ.is_data
+        assert AccessKind.WRITE.is_data
+        assert not AccessKind.IFETCH.is_data
+        assert not AccessKind.FETCH.is_data
+
+    def test_values_are_stable(self):
+        # The binary trace format depends on these numbers.
+        assert AccessKind.IFETCH == 0
+        assert AccessKind.READ == 1
+        assert AccessKind.WRITE == 2
+        assert AccessKind.FETCH == 3
+
+
+class TestMemoryAccess:
+    def test_defaults(self):
+        access = MemoryAccess(AccessKind.READ, 0x100)
+        assert access.size == 4
+        assert access.last_byte == 0x103
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError, match="address"):
+            MemoryAccess(AccessKind.READ, -1)
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(ValueError, match="size"):
+            MemoryAccess(AccessKind.READ, 0, size=0)
+
+    def test_lines_single(self):
+        access = MemoryAccess(AccessKind.READ, 0x10, size=4)
+        assert list(access.lines(16)) == [1]
+
+    def test_lines_straddle(self):
+        access = MemoryAccess(AccessKind.READ, 0x1E, size=4)
+        assert list(access.lines(16)) == [1, 2]
+
+    def test_lines_wide_access(self):
+        access = MemoryAccess(AccessKind.READ, 0, size=40)
+        assert list(access.lines(16)) == [0, 1, 2]
+
+    def test_lines_bad_line_size(self):
+        with pytest.raises(ValueError, match="line_size"):
+            MemoryAccess(AccessKind.READ, 0).lines(0)
+
+    def test_str_form(self):
+        assert str(MemoryAccess(AccessKind.WRITE, 0x20, 2)) == "w 0x20 2"
+
+    def test_frozen(self):
+        access = MemoryAccess(AccessKind.READ, 0)
+        with pytest.raises(AttributeError):
+            access.address = 5

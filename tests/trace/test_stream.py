@@ -1,0 +1,134 @@
+"""Tests for the Trace container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import AccessKind, MemoryAccess, Trace, TraceMetadata
+
+from ..conftest import make_trace
+
+
+class TestConstruction:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="same length"):
+            Trace([0, 1], [0], [4, 4])
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Trace([0], [-4], [4])
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="AccessKind"):
+            Trace([9], [0], [4])
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            Trace([0], [0], [0])
+
+    def test_empty(self):
+        trace = Trace.empty()
+        assert len(trace) == 0
+        assert list(trace) == []
+
+    def test_arrays_are_read_only(self, tiny_trace):
+        with pytest.raises(ValueError):
+            tiny_trace.addresses[0] = 99
+
+    def test_from_accesses(self):
+        accesses = [MemoryAccess(AccessKind.READ, 8, 2)]
+        trace = Trace.from_accesses(accesses)
+        assert trace[0] == accesses[0]
+
+    def test_with_metadata(self, tiny_trace):
+        renamed = tiny_trace.with_metadata(name="other")
+        assert renamed.name == "other"
+        assert tiny_trace.name == "test"
+        assert renamed == tiny_trace  # metadata is not part of equality
+
+
+class TestSequenceProtocol:
+    def test_len_and_getitem(self, tiny_trace):
+        assert len(tiny_trace) == 7
+        assert tiny_trace[0] == MemoryAccess(AccessKind.READ, 0, 4)
+        assert tiny_trace[-1].address == 16
+
+    def test_slicing_returns_trace(self, tiny_trace):
+        head = tiny_trace[:3]
+        assert isinstance(head, Trace)
+        assert len(head) == 3
+        assert head.metadata is tiny_trace.metadata
+
+    def test_iteration_matches_indexing(self, mixed_trace):
+        assert list(mixed_trace) == [mixed_trace[i] for i in range(len(mixed_trace))]
+
+    def test_equality(self, tiny_trace):
+        clone = Trace(tiny_trace.kinds, tiny_trace.addresses, tiny_trace.sizes)
+        assert clone == tiny_trace
+        assert tiny_trace != tiny_trace[:3]
+
+    def test_repr_contains_name(self, tiny_trace):
+        assert "test" in repr(tiny_trace)
+
+
+class TestStatistics:
+    def test_count_and_fractions(self, mixed_trace):
+        assert mixed_trace.count(AccessKind.IFETCH) == 5
+        fractions = mixed_trace.kind_fractions()
+        assert fractions[AccessKind.IFETCH] == pytest.approx(5 / 8)
+        assert fractions[AccessKind.WRITE] == pytest.approx(1 / 8)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_empty_fractions_are_zero(self):
+        fractions = Trace.empty().kind_fractions()
+        assert all(value == 0.0 for value in fractions.values())
+
+    def test_footprint_lines(self):
+        trace = make_trace(
+            [(AccessKind.READ, 0), (AccessKind.READ, 8), (AccessKind.READ, 16)]
+        )
+        assert trace.footprint_lines(16) == 2
+
+    def test_footprint_straddle_counts_both_lines(self):
+        trace = make_trace([(AccessKind.READ, 14, 4)])
+        assert trace.footprint_lines(16) == 2
+
+    def test_footprint_wide_access_counts_interior(self):
+        trace = make_trace([(AccessKind.READ, 0, 64)])
+        assert trace.footprint_lines(16) == 4
+
+    def test_footprint_kind_filter(self, mixed_trace):
+        data_lines = mixed_trace.footprint_lines(
+            16, [AccessKind.READ, AccessKind.WRITE]
+        )
+        assert data_lines == 2  # 0x2000 and 0x2010
+
+    def test_footprint_requires_power_of_two(self, tiny_trace):
+        with pytest.raises(ValueError, match="power of two"):
+            tiny_trace.footprint_lines(10)
+
+    def test_address_space_bytes(self, tiny_trace):
+        assert tiny_trace.address_space_bytes(16) == 5 * 16
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    addresses=st.lists(st.integers(0, 2**20), min_size=1, max_size=50),
+    kind=st.sampled_from(list(AccessKind)),
+)
+def test_footprint_never_exceeds_reference_count_times_two(addresses, kind):
+    trace = make_trace([(kind, a) for a in addresses])
+    # 4-byte accesses can touch at most two 16-byte lines each.
+    assert 1 <= trace.footprint_lines(16) <= 2 * len(addresses)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 2**30)), min_size=0, max_size=60))
+def test_roundtrip_through_accessors(pairs):
+    trace = Trace(
+        [k for k, _ in pairs], [a for _, a in pairs], [4] * len(pairs), TraceMetadata()
+    )
+    rebuilt = Trace.from_accesses(list(trace))
+    assert rebuilt == trace
+    assert np.array_equal(rebuilt.kinds, trace.kinds)

@@ -1,0 +1,53 @@
+"""Tests for the architecture profiles."""
+
+import pytest
+
+from repro.workloads import ARCHITECTURES, CodeModel, DataModel, make_parameters, profile
+
+
+class TestProfiles:
+    def test_all_six_machines_present(self):
+        names = {p.name for p in ARCHITECTURES.values()}
+        assert names == {
+            "IBM 370",
+            "IBM 360/91",
+            "VAX 11/780",
+            "Zilog Z8000",
+            "CDC 6400",
+            "Motorola 68000",
+        }
+
+    def test_paper_mix_targets(self):
+        assert ARCHITECTURES["z8000"].instruction_fraction == pytest.approx(0.751)
+        assert ARCHITECTURES["cdc6400"].instruction_fraction == pytest.approx(0.772)
+        assert ARCHITECTURES["vax"].instruction_fraction == pytest.approx(0.50)
+
+    def test_interface_assumptions(self):
+        # Section 2: the 360/91 and CDC traces assume no interface memory.
+        assert not ARCHITECTURES["ibm360_91"].interface_memory
+        assert not ARCHITECTURES["cdc6400"].interface_memory
+        assert ARCHITECTURES["ibm370"].interface_memory
+
+    def test_monitor_style_only_for_m68000(self):
+        monitor = {k for k, p in ARCHITECTURES.items() if p.monitor_style}
+        assert monitor == {"m68000"}
+
+    def test_sixteen_bit_machines_use_two_byte_fetches(self):
+        assert ARCHITECTURES["z8000"].ifetch_bytes == 2
+        assert ARCHITECTURES["m68000"].ifetch_bytes == 2
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown architecture"):
+            profile("pdp11")
+
+
+class TestMakeParameters:
+    def test_assembles_from_profile(self):
+        params = make_parameters(
+            "z8000", "T", "C", "test", 1, CodeModel(), DataModel(access_bytes=2)
+        )
+        assert params.architecture == "Zilog Z8000"
+        assert params.instruction_fraction == pytest.approx(0.751)
+        assert params.ifetch_bytes == 2
+        assert params.monitor_style is False
+        assert params.seed == 1

@@ -1,0 +1,105 @@
+"""Tests for the 49-trace catalog."""
+
+import pytest
+
+from repro.workloads import catalog
+
+
+class TestInventory:
+    def test_fifty_seven_rows(self):
+        assert len(catalog.names()) == 57
+        assert catalog.table1_names() == catalog.names()
+
+    def test_per_architecture_counts_match_paper(self):
+        counts = {}
+        for name in catalog.names():
+            arch = catalog.get(name).architecture
+            counts[arch] = counts.get(arch, 0) + 1
+        assert counts == {
+            "IBM 370": 10,
+            "IBM 360/91": 4,
+            "CDC 6400": 5,
+            "Motorola 68000": 4,
+            "Zilog Z8000": 12,
+            # 12 base + 5 LISP sections + 5 VAXIMA sections
+            "VAX 11/780": 22,
+        }
+
+    def test_forty_nine_programs(self):
+        # LISP and VAXIMA count once each as programs.
+        sections = sum(
+            1 for n in catalog.names() if n.startswith(("LISP", "VAXIMA"))
+        )
+        assert sections == 10
+        assert len(catalog.names()) - sections + 2 == 49
+
+    def test_unique_seeds(self):
+        seeds = [catalog.get(n).seed for n in catalog.names()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_paper_named_traces_exist(self):
+        for name in ["WATEX", "WATFIV", "APL", "TWOD", "PPAS", "PPAL", "DIPOLE",
+                     "MOTIS", "PLO", "MATCH", "SORT", "STAT", "ZVI", "ZGREP",
+                     "MVS1", "MVS2", "FCOMP1", "CCOMP1", "VSPICE"]:
+            catalog.get(name)  # KeyError would fail the test
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            catalog.get("NOPE")
+
+
+class TestGroups:
+    def test_vax_split_by_lisp(self):
+        groups = catalog.groups()
+        assert "VAX (Lisp)" in groups and "VAX (non-Lisp)" in groups
+        assert len(groups["VAX (Lisp)"]) == 10
+        assert len(groups["VAX (non-Lisp)"]) == 12
+
+    def test_group_of(self):
+        assert catalog.group_of("LISP3") == "VAX (Lisp)"
+        assert catalog.group_of("VGREP") == "VAX (non-Lisp)"
+        assert catalog.group_of("MVS1") == "IBM 370"
+
+    def test_groups_partition_the_catalog(self):
+        members = [n for names in catalog.groups().values() for n in names]
+        assert sorted(members) == sorted(catalog.names())
+
+
+class TestMixes:
+    def test_table3_mixes(self):
+        assert set(catalog.MULTIPROGRAMMING_MIXES) == {
+            "LISP Compiler - 5 Sections",
+            "VAXIMA - 5 Sections",
+            "Z8000 - Assorted",
+            "CDC 6400 - Assorted",
+        }
+        for members in catalog.MULTIPROGRAMMING_MIXES.values():
+            assert len(members) == 5
+            for member in members:
+                catalog.get(member)
+
+
+class TestGeneration:
+    def test_default_lengths(self):
+        assert catalog.default_length("FGO1") == 250_000
+        assert catalog.default_length("PLO") == 100_000  # short M68000 traces
+
+    def test_generate_caches(self):
+        first = catalog.generate("ZWC", 1000)
+        second = catalog.generate("ZWC", 1000)
+        assert first is second  # memoized
+
+    def test_generate_respects_length(self):
+        assert len(catalog.generate("ZWC", 2345)) == 2345
+
+    def test_metadata_matches_catalog(self):
+        trace = catalog.generate("APL", 1000)
+        assert trace.metadata.name == "APL"
+        assert trace.metadata.architecture == "IBM 360/91"
+
+    def test_m68000_traces_are_monitor_style(self):
+        from repro.trace import AccessKind
+
+        trace = catalog.generate("MATCH", 2000)
+        assert trace.count(AccessKind.IFETCH) == 0
+        assert trace.count(AccessKind.FETCH) > 0

@@ -1,0 +1,173 @@
+"""Tests for the instruction-stream engine."""
+
+import numpy as np
+
+from repro.workloads import BatchedRandom, CodeModel
+from repro.workloads.code import (
+    CODE_BASE,
+    EVENT_CALL,
+    EVENT_NONE,
+    EVENT_RETURN,
+    CodeEngine,
+)
+
+
+def run_engine(model, steps=5000, seed=1):
+    engine = CodeEngine(model, BatchedRandom(seed))
+    rows = [engine.step() for _ in range(steps)]
+    return engine, rows
+
+
+class TestLayout:
+    def test_addresses_stay_inside_footprint(self):
+        model = CodeModel(footprint_bytes=4096, instruction_bytes=4)
+        engine, rows = run_engine(model)
+        addresses = np.array([a for a, _, _ in rows])
+        assert (addresses >= CODE_BASE).all()
+        assert (addresses < engine.footprint_end).all()
+        # Rounding procedure sizes keeps the layout near the footprint.
+        assert abs(engine.footprint_end - CODE_BASE - 4096) < 4096 * 0.5
+
+    def test_instruction_length_constant(self):
+        model = CodeModel(instruction_bytes=2)
+        _, rows = run_engine(model, steps=100)
+        assert all(length == 2 for _, length, _ in rows)
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        model = CodeModel()
+        _, rows_a = run_engine(model, seed=5)
+        _, rows_b = run_engine(model, seed=5)
+        assert rows_a == rows_b
+
+    def test_different_seed_differs(self):
+        model = CodeModel()
+        _, rows_a = run_engine(model, seed=5)
+        _, rows_b = run_engine(model, seed=6)
+        assert rows_a != rows_b
+
+
+def apparent_branch_fraction(rows, window=8):
+    addresses = [a for a, _, _ in rows]
+    deltas = np.diff(addresses)
+    return float(np.count_nonzero((deltas < 0) | (deltas > window)) / len(deltas))
+
+
+class TestControlFlow:
+    def test_loops_produce_backward_jumps(self):
+        model = CodeModel(
+            loop_start_probability=0.1, mean_loop_iterations=20, call_probability=0.0,
+            short_jump_probability=0.0,
+        )
+        _, rows = run_engine(model)
+        addresses = [a for a, _, _ in rows]
+        assert any(b < a for a, b in zip(addresses, addresses[1:]))
+
+    def test_no_loops_no_calls_is_mostly_sequential(self):
+        model = CodeModel(
+            loop_start_probability=0.0, call_probability=0.0,
+            short_jump_probability=0.0, procedure_count=2,
+            footprint_bytes=1 << 16,
+        )
+        _, rows = run_engine(model, steps=2000)
+        # Only procedure-end wraps break sequentiality.
+        assert apparent_branch_fraction(rows) < 0.02
+
+    def test_branch_fraction_tracks_loop_body(self):
+        short = CodeModel(mean_loop_body=4.0, mean_loop_iterations=50,
+                          loop_start_probability=0.08)
+        long = CodeModel(mean_loop_body=32.0, mean_loop_iterations=50,
+                         loop_start_probability=0.08)
+        _, rows_short = run_engine(short, steps=20_000)
+        _, rows_long = run_engine(long, steps=20_000)
+        assert apparent_branch_fraction(rows_short) > apparent_branch_fraction(rows_long)
+
+    def test_calls_and_returns_emitted(self):
+        model = CodeModel(call_probability=0.05, loop_start_probability=0.0)
+        _, rows = run_engine(model)
+        events = [e for _, _, e in rows]
+        assert EVENT_CALL in events
+        assert EVENT_RETURN in events
+
+    def test_call_depth_bounded(self):
+        model = CodeModel(call_probability=0.3, loop_start_probability=0.0)
+        engine, _ = run_engine(model, steps=20_000)
+        assert engine.call_depth <= 24
+
+    def test_phase_drift_widens_coverage(self):
+        static = CodeModel(procedure_count=64, procedure_skew=3.0,
+                           footprint_bytes=32768, phase_instructions=0,
+                           call_probability=0.05)
+        drifting = CodeModel(procedure_count=64, procedure_skew=3.0,
+                             footprint_bytes=32768, phase_instructions=200,
+                             call_probability=0.05)
+        _, rows_static = run_engine(static, steps=30_000)
+        _, rows_drifting = run_engine(drifting, steps=30_000)
+        lines_static = len({a // 16 for a, _, _ in rows_static})
+        lines_drifting = len({a // 16 for a, _, _ in rows_drifting})
+        assert lines_drifting > lines_static
+
+
+class TestLoopCalls:
+    """Loop bodies calling procedures (loop_call_probability)."""
+
+    def _model(self, p):
+        # A small explicit-return probability (call_probability drives the
+        # return rule too) keeps helpers short, as in real code.
+        return CodeModel(
+            footprint_bytes=16384, loop_start_probability=0.08,
+            mean_loop_iterations=50, call_probability=0.01,
+            short_jump_probability=0.0, loop_call_probability=p,
+        )
+
+    def test_disabled_by_default(self):
+        engine, rows = run_engine(CodeModel(call_probability=0.0,
+                                            short_jump_probability=0.0))
+        events = [e for _, _, e in rows]
+        assert EVENT_CALL not in events
+
+    def test_calls_happen_inside_loops(self):
+        engine, rows = run_engine(self._model(0.05), steps=20_000)
+        events = [e for _, _, e in rows]
+        assert events.count(EVENT_CALL) > 10
+        assert events.count(EVENT_RETURN) > 10
+
+    def test_loops_resume_after_return(self):
+        # With loop calls enabled, backward jumps to loop starts must still
+        # occur *after* returns — i.e. suspended loops resume.
+        _, rows = run_engine(self._model(0.05), steps=20_000)
+        addresses = [a for a, _, _ in rows]
+        events = [e for _, _, e in rows]
+        resumed_loop_jumps = 0
+        seen_return = False
+        for (a, b), event in zip(zip(addresses, addresses[1:]), events[1:]):
+            if event == EVENT_RETURN:
+                seen_return = True
+            if seen_return and b < a and event == EVENT_NONE:
+                resumed_loop_jumps += 1
+        assert resumed_loop_jumps > 0
+
+    def test_widens_instruction_working_set(self):
+        def hot_lines(model, n=30_000):
+            _, rows = run_engine(model, steps=n)
+            addresses = [a for a, _, _ in rows]
+            windows = [
+                len({a // 16 for a in addresses[i:i + 2000]})
+                for i in range(0, n, 2000)
+            ]
+            import numpy as np
+            return float(np.mean(windows))
+
+        assert hot_lines(self._model(0.05)) > hot_lines(self._model(0.0))
+
+    def test_addresses_stay_in_bounds_with_loop_calls(self):
+        engine, rows = run_engine(self._model(0.1), steps=20_000)
+        addresses = np.array([a for a, _, _ in rows])
+        assert (addresses >= CODE_BASE).all()
+        assert (addresses < engine.footprint_end).all()
+
+    def test_determinism_with_loop_calls(self):
+        _, a = run_engine(self._model(0.05), seed=9)
+        _, b = run_engine(self._model(0.05), seed=9)
+        assert a == b

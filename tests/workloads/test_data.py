@@ -1,0 +1,140 @@
+"""Tests for the data-stream engine."""
+
+import numpy as np
+
+from repro.workloads import BatchedRandom, DataModel
+from repro.workloads.data import DATA_BASE, STACK_TOP, DataEngine
+
+
+def run_engine(model, count=10_000, seed=2, calls=0):
+    engine = DataEngine(model, BatchedRandom(seed))
+    for _ in range(calls):
+        engine.on_call()
+    rows = [engine.next_reference() for _ in range(count)]
+    return engine, rows
+
+
+class TestAddressRanges:
+    def test_non_stack_addresses_inside_data_region(self):
+        model = DataModel(footprint_bytes=8192, stack_fraction=0.0)
+        _, rows = run_engine(model)
+        addresses = np.array([a for a, _ in rows])
+        assert (addresses >= DATA_BASE).all()
+        assert (addresses < DATA_BASE + 8192 + 16).all()
+
+    def test_stack_addresses_near_stack_top(self):
+        model = DataModel(stack_fraction=1.0, sequential_fraction=0.0)
+        engine, rows = run_engine(model, calls=3)
+        addresses = np.array([a for a, _ in rows])
+        assert (addresses >= engine.stack_pointer).all()
+        assert (addresses <= STACK_TOP + model.stack_window_bytes).all()
+
+
+class TestStackCoupling:
+    def test_call_and_return_move_sp(self):
+        engine = DataEngine(DataModel(), BatchedRandom(0))
+        top = engine.stack_pointer
+        engine.on_call()
+        assert engine.stack_pointer < top
+        engine.on_return()
+        assert engine.stack_pointer == top
+
+    def test_return_without_call_is_safe(self):
+        engine = DataEngine(DataModel(), BatchedRandom(0))
+        engine.on_return()
+        assert engine.stack_pointer == STACK_TOP
+
+    def test_frame_depth_bounded(self):
+        engine = DataEngine(DataModel(), BatchedRandom(0))
+        for _ in range(1000):
+            engine.on_call()
+        assert engine.stack_pointer > DATA_BASE  # no runaway
+
+
+class TestWriteModel:
+    def test_write_fraction_near_target(self):
+        model = DataModel(write_fraction=0.33, writable_fraction=0.6)
+        _, rows = run_engine(model, count=30_000)
+        writes = sum(1 for _, is_write in rows if is_write)
+        assert abs(writes / len(rows) - 0.33) < 0.04
+
+    def test_read_only_lines_never_written(self):
+        model = DataModel(write_fraction=0.5, writable_fraction=0.3,
+                          stack_fraction=0.0)
+        engine, rows = run_engine(model, count=20_000)
+        for address, is_write in rows:
+            if is_write:
+                assert engine._is_writable(address)
+
+    def test_fully_writable(self):
+        model = DataModel(write_fraction=0.3, writable_fraction=1.0)
+        _, rows = run_engine(model, count=20_000)
+        written_lines = {a // 16 for a, w in rows if w}
+        assert written_lines  # plenty of lines take writes
+
+
+class TestLocalityModel:
+    def _miss_proxy(self, theta, count=30_000):
+        """Fraction of working-set refs beyond a 64-line LRU window."""
+        model = DataModel(
+            footprint_bytes=64 * 1024, working_set_skew=theta,
+            stack_fraction=0.0, sequential_fraction=0.0,
+        )
+        _, rows = run_engine(model, count=count)
+        from collections import OrderedDict
+        window: OrderedDict[int, None] = OrderedDict()
+        misses = 0
+        for address, _ in rows:
+            line = address // 16
+            if line in window:
+                window.move_to_end(line)
+            else:
+                misses += 1
+                window[line] = None
+                if len(window) > 64:
+                    window.popitem(last=False)
+        return misses / count
+
+    def test_higher_theta_means_tighter_locality(self):
+        assert self._miss_proxy(2.5) < self._miss_proxy(1.3)
+
+    def test_footprint_grows_toward_cap(self):
+        model = DataModel(footprint_bytes=2048, working_set_skew=1.2,
+                          stack_fraction=0.0, sequential_fraction=0.0)
+        engine, _ = run_engine(model, count=30_000)
+        assert engine.working_set_lines > 2048 // 16 // 2  # most lines touched
+        assert engine.working_set_lines <= 2048 // 16
+
+    def test_turnover_recycles_lines(self):
+        with_turnover = DataModel(
+            footprint_bytes=4096, working_set_skew=2.0, phase_interval=50,
+            stack_fraction=0.0, sequential_fraction=0.0,
+        )
+        engine, rows = run_engine(with_turnover, count=20_000)
+        # Turnover retires lines to the cold pool; deep draws re-allocate
+        # them, so the engine keeps running and stays inside the footprint.
+        addresses = {a // 16 for a, _ in rows}
+        assert len(addresses) <= 4096 // 16
+
+
+class TestSequentialComponent:
+    def test_runs_are_sequential(self):
+        model = DataModel(
+            sequential_fraction=1.0, stack_fraction=0.0,
+            mean_sequential_run=1000.0, sequential_streams=1, sequential_arrays=1,
+            access_bytes=4,
+        )
+        _, rows = run_engine(model, count=200)
+        deltas = np.diff([a for a, _ in rows])
+        assert (deltas[deltas >= 0] == 4).mean() > 0.9  # forward scans, stride 4
+
+    def test_hot_arrays_rescanned(self):
+        model = DataModel(
+            sequential_fraction=1.0, stack_fraction=0.0,
+            mean_sequential_run=20.0, sequential_streams=1, sequential_arrays=8,
+            working_set_skew=3.0,
+        )
+        _, rows = run_engine(model, count=5000)
+        addresses = [a for a, _ in rows]
+        # Re-scanning hot arrays means many repeated addresses.
+        assert len(set(addresses)) < len(addresses) / 2

@@ -1,0 +1,133 @@
+"""Tests for the synthetic trace generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import AccessKind, characterize
+from repro.workloads import (
+    CodeModel,
+    DataModel,
+    SyntheticWorkload,
+    WorkloadParameters,
+    generate_trace,
+)
+
+
+def params(**changes):
+    base = dict(
+        name="GEN",
+        architecture="VAX 11/780",
+        language="C",
+        instruction_fraction=0.5,
+        code=CodeModel(footprint_bytes=8192),
+        data=DataModel(footprint_bytes=8192),
+        ifetch_bytes=4,
+        interface_memory=False,
+        seed=11,
+    )
+    base.update(changes)
+    return WorkloadParameters(**base)
+
+
+class TestBasics:
+    def test_exact_length(self):
+        trace = generate_trace(params(), 5000)
+        assert len(trace) == 5000
+
+    def test_zero_length(self):
+        assert len(generate_trace(params(), 0)) == 0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            generate_trace(params(), -1)
+
+    def test_metadata_propagates(self):
+        trace = generate_trace(params(), 100)
+        assert trace.metadata.name == "GEN"
+        assert trace.metadata.architecture == "VAX 11/780"
+        assert trace.metadata.extra["synthetic"] is True
+
+    def test_deterministic(self):
+        assert generate_trace(params(), 3000) == generate_trace(params(), 3000)
+
+    def test_seed_changes_trace(self):
+        assert generate_trace(params(), 3000) != generate_trace(params(seed=12), 3000)
+
+    def test_prefix_property(self):
+        # A shorter generation is a prefix of a longer one (same seed).
+        long = generate_trace(params(), 4000)
+        short = generate_trace(params(), 1000)
+        assert long[:1000] == short
+
+
+class TestMixPacing:
+    @pytest.mark.parametrize("fraction", [0.3, 0.5, 0.751])
+    def test_instruction_fraction_on_target(self, fraction):
+        trace = generate_trace(params(instruction_fraction=fraction), 30_000)
+        row = characterize(trace)
+        assert row.fraction_ifetch == pytest.approx(fraction, abs=0.02)
+
+    def test_mix_invariant_to_interface(self):
+        with_memory = generate_trace(
+            params(ifetch_bytes=8, interface_memory=True), 20_000
+        )
+        without = generate_trace(params(ifetch_bytes=8, interface_memory=False), 20_000)
+        for trace in (with_memory, without):
+            assert characterize(trace).fraction_ifetch == pytest.approx(0.5, abs=0.02)
+
+    def test_interface_memory_reduces_distinct_fetch_positions(self):
+        # Same code behaviour, but a remembering interface never emits two
+        # consecutive identical word fetches.
+        import numpy as np
+
+        trace = generate_trace(params(ifetch_bytes=8, interface_memory=True), 20_000)
+        mask = trace.kinds == int(AccessKind.IFETCH)
+        addresses = trace.addresses[mask]
+        assert (np.diff(addresses) != 0).all()
+
+
+class TestMonitorStyle:
+    def test_monitor_traces_have_no_classified_reads(self):
+        trace = generate_trace(params(monitor_style=True), 5000)
+        assert trace.count(AccessKind.IFETCH) == 0
+        assert trace.count(AccessKind.READ) == 0
+        assert trace.count(AccessKind.FETCH) > 0
+        assert trace.count(AccessKind.WRITE) > 0
+
+
+class TestSizes:
+    def test_ifetch_sizes_match_interface(self):
+        trace = generate_trace(params(ifetch_bytes=2), 2000)
+        import numpy as np
+
+        mask = trace.kinds == int(AccessKind.IFETCH)
+        assert (trace.sizes[mask] == 2).all()
+
+    def test_data_sizes_match_model(self):
+        trace = generate_trace(
+            params(data=DataModel(footprint_bytes=8192, access_bytes=8)), 2000
+        )
+        import numpy as np
+
+        mask = trace.kinds == int(AccessKind.READ)
+        assert (trace.sizes[mask] == 8).all()
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    fraction=st.floats(0.2, 0.8),
+    seed=st.integers(0, 2**31),
+    ifetch_bytes=st.sampled_from([2, 4, 8]),
+)
+def test_generator_properties(fraction, seed, ifetch_bytes):
+    trace = generate_trace(
+        params(instruction_fraction=fraction, seed=seed, ifetch_bytes=ifetch_bytes),
+        8000,
+    )
+    assert len(trace) == 8000
+    row = characterize(trace)
+    assert row.fraction_ifetch == pytest.approx(fraction, abs=0.05)
+    # Addresses are sane: non-negative, bounded by the layout regions.
+    assert int(trace.addresses.min()) >= 0
+    assert int(trace.addresses.max()) < (1 << 34)

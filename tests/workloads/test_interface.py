@@ -1,0 +1,61 @@
+"""Tests for the instruction memory-interface model.
+
+These encode Section 1.1's example directly: "fetching two four-byte
+instructions requires 4, 2 or 1 memory reference, depending on whether the
+memory interface is 2, 4 or 8 bytes wide" — and fewer when the interface
+has memory.
+"""
+
+import pytest
+
+from repro.workloads import InstructionInterface
+
+
+def fetch_two_4byte_instructions(width, has_memory):
+    interface = InstructionInterface(width, has_memory)
+    fetches = interface.fetches(0, 4) + interface.fetches(4, 4)
+    return fetches
+
+
+class TestPaperExample:
+    def test_two_byte_interface_needs_four_fetches(self):
+        assert len(fetch_two_4byte_instructions(2, has_memory=True)) == 4
+
+    def test_four_byte_interface_needs_two_fetches(self):
+        assert len(fetch_two_4byte_instructions(4, has_memory=True)) == 2
+
+    def test_eight_byte_interface_with_memory_needs_one(self):
+        assert fetch_two_4byte_instructions(8, has_memory=True) == [0]
+
+    def test_eight_byte_interface_without_memory_refetches(self):
+        # "all bytes are discarded after each individual fetch" (360/91).
+        assert fetch_two_4byte_instructions(8, has_memory=False) == [0, 0]
+
+
+class TestMechanics:
+    def test_addresses_are_word_aligned(self):
+        interface = InstructionInterface(8, has_memory=False)
+        assert interface.fetches(13, 2) == [8]
+
+    def test_straddling_instruction_fetches_both_words(self):
+        interface = InstructionInterface(4, has_memory=False)
+        assert interface.fetches(6, 4) == [4, 8]
+
+    def test_memory_suppresses_repeat_of_last_word_only(self):
+        interface = InstructionInterface(4, has_memory=True)
+        assert interface.fetches(0, 4) == [0]
+        assert interface.fetches(4, 4) == [4]
+        # Jumping back re-fetches: the buffer holds only the last word.
+        assert interface.fetches(0, 4) == [0]
+
+    def test_invalidate_forgets_buffer(self):
+        interface = InstructionInterface(8, has_memory=True)
+        interface.fetches(0, 4)
+        interface.invalidate()
+        assert interface.fetches(4, 4) == [0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="width"):
+            InstructionInterface(0)
+        with pytest.raises(ValueError, match="length"):
+            InstructionInterface(4).fetches(0, 0)

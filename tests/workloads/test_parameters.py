@@ -1,0 +1,89 @@
+"""Validation tests for the workload parameter schema."""
+
+import pytest
+
+from repro.workloads import CodeModel, DataModel, WorkloadParameters
+
+
+class TestCodeModel:
+    def test_defaults_valid(self):
+        CodeModel()
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("footprint_bytes", 0),
+            ("instruction_bytes", 0),
+            ("procedure_count", 0),
+            ("procedure_skew", -0.5),
+            ("loop_start_probability", 1.5),
+            ("call_probability", -0.1),
+            ("short_jump_probability", 2.0),
+            ("mean_loop_body", 0.5),
+            ("mean_loop_iterations", -1.0),
+            ("phase_instructions", -1),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ValueError, match=field.split("_")[0]):
+            CodeModel(**{field: value})
+
+
+class TestDataModel:
+    def test_defaults_valid(self):
+        DataModel()
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("footprint_bytes", -1),
+            ("access_bytes", 0),
+            ("write_fraction", 1.5),
+            ("writable_fraction", 0.0),
+            ("stack_window_bytes", 0),
+            ("mean_sequential_run", 0.0),
+            ("sequential_streams", 0),
+            ("sequential_arrays", 0),
+            ("working_set_skew", 1.0),
+            ("phase_interval", -5),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ValueError):
+            DataModel(**{field: value})
+
+    def test_mixture_fractions_must_fit(self):
+        with pytest.raises(ValueError, match="exceed"):
+            DataModel(stack_fraction=0.7, sequential_fraction=0.5)
+
+    def test_working_set_fraction(self):
+        model = DataModel(stack_fraction=0.25, sequential_fraction=0.35)
+        assert model.working_set_fraction == pytest.approx(0.40)
+
+
+class TestWorkloadParameters:
+    def _params(self, **changes):
+        base = dict(name="T", architecture="A", language="L")
+        base.update(changes)
+        return WorkloadParameters(**base)
+
+    def test_instruction_fraction_bounds(self):
+        with pytest.raises(ValueError, match="instruction_fraction"):
+            self._params(instruction_fraction=0.0)
+        with pytest.raises(ValueError, match="instruction_fraction"):
+            self._params(instruction_fraction=1.0)
+
+    def test_ifetch_bytes_positive(self):
+        with pytest.raises(ValueError, match="ifetch_bytes"):
+            self._params(ifetch_bytes=0)
+
+    def test_evolve(self):
+        params = self._params(seed=1)
+        changed = params.evolve(seed=2, name="U")
+        assert changed.seed == 2 and changed.name == "U"
+        assert params.seed == 1  # original untouched
+
+    def test_frozen(self):
+        params = self._params()
+        with pytest.raises(AttributeError):
+            params.seed = 9

@@ -1,0 +1,56 @@
+"""Tests for the batched random source."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import BatchedRandom
+
+
+class TestBatchedRandom:
+    def test_deterministic_for_seed(self):
+        a = [BatchedRandom(42).uniform() for _ in range(5)]
+        b = [BatchedRandom(42).uniform() for _ in range(5)]
+        assert a == b
+
+    def test_uniform_in_range(self):
+        rng = BatchedRandom(0)
+        values = [rng.uniform() for _ in range(10_000)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert abs(np.mean(values) - 0.5) < 0.02
+
+    def test_block_refill(self):
+        rng = BatchedRandom(0)
+        # Draw through more than one 8192-value block.
+        values = {round(rng.uniform(), 12) for _ in range(20_000)}
+        assert len(values) > 19_000  # essentially all distinct
+
+    def test_integer_bounds(self):
+        rng = BatchedRandom(0)
+        values = [rng.integer(7) for _ in range(1000)]
+        assert set(values) <= set(range(7))
+
+    def test_integer_validation(self):
+        with pytest.raises(ValueError, match="bound"):
+            BatchedRandom(0).integer(0)
+
+    def test_geometric_mean(self):
+        rng = BatchedRandom(3)
+        values = [rng.geometric(10.0) for _ in range(20_000)]
+        assert min(values) >= 1
+        assert abs(np.mean(values) - 10.0) < 0.5
+
+    def test_geometric_degenerate(self):
+        rng = BatchedRandom(0)
+        assert all(rng.geometric(1.0) == 1 for _ in range(10))
+        assert all(rng.geometric(0.5) == 1 for _ in range(10))
+
+    def test_spawn_independent_but_deterministic(self):
+        parent_a = BatchedRandom(9)
+        parent_b = BatchedRandom(9)
+        child_a = parent_a.spawn()
+        child_b = parent_b.spawn()
+        assert [child_a.uniform() for _ in range(4)] == [
+            child_b.uniform() for _ in range(4)
+        ]
+        # Child stream differs from the parent stream.
+        assert child_a.uniform() != parent_a.uniform()

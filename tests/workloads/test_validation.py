@@ -1,0 +1,59 @@
+"""Tests for the catalog calibration validator."""
+
+import pytest
+
+from repro.workloads import AnchorCheck, validate_catalog
+
+
+class TestAnchorCheck:
+    def test_ratio(self):
+        check = AnchorCheck("m", "s", paper=0.05, measured=0.06)
+        assert check.ratio == pytest.approx(1.2)
+
+    def test_zero_paper(self):
+        assert AnchorCheck("m", "s", 0.0, 0.1).ratio == float("inf")
+
+    def test_within(self):
+        check = AnchorCheck("m", "s", 0.05, 0.06)
+        assert check.within(1.5)
+        assert not check.within(1.1)
+
+    def test_within_validation(self):
+        with pytest.raises(ValueError, match="factor"):
+            AnchorCheck("m", "s", 1.0, 1.0).within(0.5)
+
+
+class TestValidateCatalog:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return validate_catalog(length=30_000)
+
+    def test_check_inventory(self, report):
+        metrics = {check.metric for check in report.checks}
+        assert "miss@1K" in metrics
+        assert "ifetch-share" in metrics
+        assert "branch-fraction" in metrics
+        assert "aspace-bytes" in metrics
+        assert len(report.checks) == 24
+
+    def test_mix_anchors_are_tight(self, report):
+        # The generator paces the mix explicitly; these must be near-exact
+        # at any length.
+        for check in report.by_metric("ifetch-share"):
+            assert check.within(1.05), check
+
+    def test_miss_anchors_within_band(self, report):
+        for check in report.by_metric("miss@1K"):
+            assert check.within(2.5), check
+
+    def test_branch_anchors_within_band(self, report):
+        for check in report.by_metric("branch-fraction"):
+            assert check.within(2.0), check
+
+    def test_worst_is_a_member(self, report):
+        assert report.worst() in report.checks
+
+    def test_render(self, report):
+        text = report.render()
+        assert "Catalog calibration" in text
+        assert "miss@1K" in text
