@@ -11,6 +11,14 @@ routine benchmark pass, so by default each trace is truncated to
 ``REPRO_BENCH_LENGTH`` references (default 60 000).  Set
 ``REPRO_BENCH_FULL=1`` to run at the paper's full lengths (this is what the
 numbers in EXPERIMENTS.md were produced with).
+
+Parallelism and caching
+-----------------------
+The campaign-backed experiments (Table 1, Figures 3-4, the prefetch
+study) fan out across ``REPRO_WORKERS`` processes and memoize each
+trace x configuration cell under ``benchmarks/.cache`` (overridable with
+``REPRO_CACHE_DIR``; set ``REPRO_BENCH_CACHE=0`` to disable), so a
+repeated benchmark pass skips every already-simulated cell.
 """
 
 from __future__ import annotations
@@ -22,6 +30,11 @@ from pathlib import Path
 DEFAULT_BENCH_LENGTH = 60_000
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+CACHE_DIR = Path(__file__).resolve().parent / ".cache"
+
+if os.environ.get("REPRO_BENCH_CACHE") != "0":
+    os.environ.setdefault("REPRO_CACHE_DIR", str(CACHE_DIR))
 
 
 def bench_length() -> int | None:

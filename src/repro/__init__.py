@@ -19,6 +19,7 @@ Quickstart::
     print(report.miss_ratio)
 """
 
+from .campaign import CampaignResult, CellOutcome, ResultCache, run_campaign, worker_count
 from .core import (
     COPY_BACK,
     WRITE_THROUGH,
@@ -39,6 +40,7 @@ from .core import (
     simulate_multiprogrammed,
     traffic_ratio,
 )
+from .core.jobs import CampaignCell, SimulateJob, StackSweepJob, TraceSpec
 from .trace import (
     AccessKind,
     MemoryAccess,
@@ -54,6 +56,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "CampaignCell",
+    "CampaignResult",
+    "CellOutcome",
+    "ResultCache",
+    "SimulateJob",
+    "StackSweepJob",
+    "TraceSpec",
+    "run_campaign",
+    "worker_count",
     "COPY_BACK",
     "WRITE_THROUGH",
     "CacheGeometry",

@@ -18,8 +18,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..campaign import run_campaign
+from ..core.jobs import CampaignCell, StackSweepJob, TraceSpec
 from ..workloads import catalog
-from .sweep import PAPER_CACHE_SIZES, MissRatioCurve, unified_lru_sweep
+from .sweep import PAPER_CACHE_SIZES, PAPER_LINE_SIZE, MissRatioCurve
 from .tables import render_series
 
 __all__ = [
@@ -129,22 +131,32 @@ def table1_experiment(
     names: Sequence[str] | None = None,
     sizes: Sequence[int] = PAPER_CACHE_SIZES,
     length: int | None = None,
+    workers: int | None = None,
+    cache=None,
 ) -> Table1Result:
-    """Run the Table 1 sweep.
+    """Run the Table 1 sweep (one campaign cell per trace).
 
     Args:
         names: traces to sweep; defaults to all 57 Table 1 rows.
         sizes: cache sizes in bytes.
         length: references per trace; defaults to each trace's paper length.
+        workers: campaign worker processes (default: ``REPRO_WORKERS`` or
+            the CPU count).
+        cache: campaign result cache (see :func:`repro.campaign.run_campaign`).
 
     Returns:
         The collected curves.
     """
     names = list(names) if names is not None else catalog.table1_names()
+    job = StackSweepJob(sizes=tuple(sizes), line_size=PAPER_LINE_SIZE)
+    cells = [
+        CampaignCell(label=name, trace=TraceSpec.catalog(name, length), job=job)
+        for name in names
+    ]
+    result = run_campaign(cells, workers=workers, cache=cache)
     curves: dict[str, MissRatioCurve] = {}
     used_length = 0
-    for name in names:
-        trace = catalog.generate(name, length)
-        used_length = max(used_length, len(trace))
-        curves[name] = unified_lru_sweep(trace, sizes)
+    for name, outcome in zip(names, result.outcomes):
+        curves[name] = MissRatioCurve(name, tuple(sizes), outcome.value)
+        used_length = max(used_length, outcome.references)
     return Table1Result(tuple(sizes), curves, used_length)

@@ -33,13 +33,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.address import CacheGeometry
-from ..core.fetch import FetchPolicy
+from ..campaign import run_campaign
+from ..core.jobs import CampaignCell, SimulateJob, TraceSpec
 from ..core.multiprog import DEFAULT_QUANTUM
-from ..core.organization import SplitCache, UnifiedCache
-from ..core.simulator import simulate
-from ..trace.filters import interleave_round_robin
-from ..trace.stream import Trace
 from ..workloads import catalog
 from .sweep import PAPER_CACHE_SIZES
 from .tables import render_series, render_table
@@ -221,66 +217,84 @@ class PrefetchStudyResult:
         return "\n\n".join(blocks)
 
 
-def _workload_trace(label: str, length: int | None) -> tuple[Trace, int]:
-    """Resolve a study label to a trace and its purge quantum."""
+def _workload_spec(label: str, length: int | None) -> tuple[TraceSpec, int]:
+    """Resolve a study label to a trace spec and its purge quantum."""
     if label in catalog.MULTIPROGRAMMING_MIXES:
         members = catalog.MULTIPROGRAMMING_MIXES[label]
         total = length if length is not None else catalog.DEFAULT_TRACE_LENGTH
-        trace = interleave_round_robin(
-            [catalog.generate(m, length) for m in members],
-            quantum=DEFAULT_QUANTUM,
-            length=total,
+        spec = TraceSpec.mix(
+            label, tuple(members), DEFAULT_QUANTUM, length=length, total=total
         )
-        return trace, DEFAULT_QUANTUM
-    trace = catalog.generate(label, length)
+        return spec, DEFAULT_QUANTUM
     quantum = (
         M68000_QUANTUM
         if catalog.get(label).architecture == "Motorola 68000"
         else DEFAULT_QUANTUM
     )
-    return trace, quantum
+    return TraceSpec.catalog(label, length), quantum
 
 
 def prefetch_study(
     labels: Sequence[str] | None = None,
     sizes: Sequence[int] = PAPER_CACHE_SIZES,
     length: int | None = None,
+    workers: int | None = None,
+    cache=None,
 ) -> PrefetchStudyResult:
     """Run the full prefetch study (4 simulations per workload per size).
+
+    Every simulation is one campaign cell, so the whole study fans out
+    across the worker pool and memoizes per cell.
 
     Args:
         labels: workloads; defaults to :data:`PREFETCH_WORKLOADS`.
         sizes: cache sizes in bytes (each split side gets the full size,
             matching the per-cache x axis of Figures 6/7/9/10).
         length: references per trace (paper defaults otherwise).
+        workers: campaign worker processes (default: ``REPRO_WORKERS`` or
+            the CPU count).
+        cache: campaign result cache (see :func:`repro.campaign.run_campaign`).
 
     Returns:
         The assembled study results.
     """
     labels = list(labels) if labels is not None else list(PREFETCH_WORKLOADS)
+    quanta: dict[str, int] = {}
+    cells: list[CampaignCell] = []
+    for label in labels:
+        spec, quantum = _workload_spec(label, length)
+        quanta[label] = quantum
+        for size in sizes:
+            for fetch in ("demand", "prefetch-always"):
+                for split in (False, True):
+                    cells.append(
+                        CampaignCell(
+                            label=f"{label}/{size}/{fetch}/{'split' if split else 'unified'}",
+                            trace=spec,
+                            job=SimulateJob(
+                                size=size,
+                                line_size=16,
+                                fetch=fetch,
+                                split=split,
+                                purge_interval=quantum,
+                            ),
+                        )
+                    )
+    campaign = run_campaign(cells, workers=workers, cache=cache)
+    reports = iter(campaign.outcomes)
+
     results: dict[str, PrefetchWorkloadResult] = {}
     for label in labels:
-        trace, quantum = _workload_trace(label, length)
+        quantum = quanta[label]
         collected: dict[tuple[str, str], list] = {
             (side, metric): []
             for side in ("unified", "instruction", "data")
             for metric in ("miss_demand", "miss_prefetch", "traffic_demand", "traffic_prefetch")
         }
         for size in sizes:
-            for policy, suffix in (
-                (FetchPolicy.DEMAND, "demand"),
-                (FetchPolicy.PREFETCH_ALWAYS, "prefetch"),
-            ):
-                unified = simulate(
-                    trace,
-                    UnifiedCache(CacheGeometry(size, 16), fetch_policy=policy),
-                    purge_interval=quantum,
-                )
-                split = simulate(
-                    trace,
-                    SplitCache(CacheGeometry(size, 16), fetch_policy=policy),
-                    purge_interval=quantum,
-                )
+            for suffix in ("demand", "prefetch"):
+                unified = next(reports).value
+                split = next(reports).value
                 collected[("unified", f"miss_{suffix}")].append(unified.miss_ratio)
                 collected[("unified", f"traffic_{suffix}")].append(
                     unified.overall.memory_traffic_bytes

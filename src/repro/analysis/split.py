@@ -18,10 +18,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..campaign import run_campaign
+from ..core.jobs import CampaignCell, StackSweepJob, TraceSpec
 from ..core.multiprog import DEFAULT_QUANTUM
-from ..trace.filters import interleave_round_robin
 from ..workloads import catalog
-from .sweep import PAPER_CACHE_SIZES, MissRatioCurve, split_lru_sweep
+from .sweep import (
+    DATA_KINDS,
+    INSTRUCTION_KINDS,
+    PAPER_CACHE_SIZES,
+    PAPER_LINE_SIZE,
+    MissRatioCurve,
+)
 from .tables import render_series
 from .writeback import PAPER_TABLE3
 
@@ -79,8 +86,11 @@ def figures_3_and_4(
     sizes: Sequence[int] = PAPER_CACHE_SIZES,
     quantum: int = DEFAULT_QUANTUM,
     length: int | None = None,
+    workers: int | None = None,
+    cache=None,
 ) -> SplitMissRatioResult:
-    """Run the split-cache miss-ratio sweeps.
+    """Run the split-cache miss-ratio sweeps (two campaign cells per
+    workload: one per cache side).
 
     Args:
         labels: workloads (trace names or Table 3 mix labels); defaults to
@@ -88,22 +98,44 @@ def figures_3_and_4(
         sizes: cache sizes for each side.
         quantum: purge interval in total references.
         length: references per trace (paper defaults otherwise).
+        workers: campaign worker processes (default: ``REPRO_WORKERS`` or
+            the CPU count).
+        cache: campaign result cache (see :func:`repro.campaign.run_campaign`).
 
     Returns:
         Curves for both figures.
     """
     labels = list(labels) if labels is not None else list(TABLE3_WORKLOADS)
-    instruction: dict[str, MissRatioCurve] = {}
-    data: dict[str, MissRatioCurve] = {}
+    side_jobs = {
+        "I": StackSweepJob(
+            sizes=tuple(sizes),
+            line_size=PAPER_LINE_SIZE,
+            kinds=tuple(int(k) for k in INSTRUCTION_KINDS),
+            purge_interval=quantum,
+        ),
+        "D": StackSweepJob(
+            sizes=tuple(sizes),
+            line_size=PAPER_LINE_SIZE,
+            kinds=tuple(int(k) for k in DATA_KINDS),
+            purge_interval=quantum,
+        ),
+    }
+    cells = []
     for label in labels:
         if label in catalog.MULTIPROGRAMMING_MIXES:
             members = catalog.MULTIPROGRAMMING_MIXES[label]
-            trace = interleave_round_robin(
-                [catalog.generate(m, length) for m in members], quantum=quantum
-            )
+            spec = TraceSpec.mix(label, tuple(members), quantum, length=length)
         else:
-            trace = catalog.generate(label, length)
-        icurve, dcurve = split_lru_sweep(trace, sizes, purge_interval=quantum)
-        instruction[label] = icurve
-        data[label] = dcurve
+            spec = TraceSpec.catalog(label, length)
+        for side, job in side_jobs.items():
+            cells.append(CampaignCell(label=f"{label}:{side}", trace=spec, job=job))
+    result = run_campaign(cells, workers=workers, cache=cache)
+    instruction: dict[str, MissRatioCurve] = {}
+    data: dict[str, MissRatioCurve] = {}
+    outcome = iter(result.outcomes)
+    for label in labels:
+        icurve = next(outcome).value
+        dcurve = next(outcome).value
+        instruction[label] = MissRatioCurve(f"{label}:I", tuple(sizes), icurve)
+        data[label] = MissRatioCurve(f"{label}:D", tuple(sizes), dcurve)
     return SplitMissRatioResult(tuple(sizes), instruction, data, quantum)

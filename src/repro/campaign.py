@@ -1,0 +1,316 @@
+"""The campaign runner: parallel trace x configuration sweeps with an
+on-disk result cache.
+
+The paper's experiments are *campaigns* — the same simulator applied to
+dozens of traces across dozens of configurations (49 traces x 12 sizes for
+Table 1 alone).  Every cell is independent, so the natural execution model
+is a process pool:
+
+* :func:`run_campaign` takes an iterable of
+  :class:`~repro.core.jobs.CampaignCell` and executes them across a
+  ``ProcessPoolExecutor``.  The worker count comes from ``os.cpu_count()``,
+  overridable with the ``REPRO_WORKERS`` environment variable (or the
+  ``workers=`` argument); ``REPRO_WORKERS=1`` falls back to plain
+  in-process serial execution, which is what you want under a debugger.
+* Results are merged **in submission order**, so a campaign's output is
+  bit-identical no matter how many workers ran it or in which order the
+  cells finished.
+* Finished cells are memoized in an on-disk :class:`ResultCache` keyed by
+  a content hash of (trace identity, configuration, length, purge
+  interval) — see :func:`repro.core.jobs.cell_key`.  Re-running a
+  benchmark or experiment skips every already-simulated cell.  The cache
+  directory comes from ``REPRO_CACHE_DIR`` (or the ``cache=`` argument);
+  with neither set, caching is off.
+* Every executed cell is timed; :meth:`CampaignResult.summary` reports
+  wall time and references/second per campaign, and
+  :attr:`CellOutcome.wall_seconds` per cell.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import time
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from .core.jobs import CampaignCell, CellResult, cell_key, run_cell
+
+__all__ = [
+    "CellOutcome",
+    "CampaignResult",
+    "ResultCache",
+    "run_campaign",
+    "worker_count",
+]
+
+#: Environment variable overriding the worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+#: Environment variable naming the default result-cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_MISS = object()
+
+
+def worker_count(workers: int | None = None) -> int:
+    """Resolve the campaign worker count.
+
+    Priority: explicit argument, then ``REPRO_WORKERS``, then
+    ``os.cpu_count()``.  Always at least 1.
+    """
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV)
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{WORKERS_ENV} must be an integer, got {env!r}"
+                ) from None
+        else:
+            workers = os.cpu_count() or 1
+    return max(1, workers)
+
+
+class ResultCache:
+    """On-disk memo of finished campaign cells.
+
+    Each entry is one pickle file named by the cell's content hash, in a
+    two-level directory layout (``ab/abcdef....pkl``) to keep directories
+    small.  Writes are atomic (write-to-temp + rename), so concurrent
+    campaigns sharing a cache directory never observe torn entries; a
+    corrupt or unreadable entry is treated as a miss.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str):
+        """The cached :class:`CellResult` for ``key``, or the miss sentinel."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            # Any unreadable entry — torn, truncated, or bytes that merely
+            # resemble a pickle stream — is a miss, never a crash.
+            return _MISS
+
+    def put(self, key: str, result: CellResult) -> None:
+        """Store one finished cell (atomically)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        """Number of cached entries."""
+        return sum(1 for _ in self.directory.glob("*/*.pkl"))
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One campaign cell plus everything its execution produced.
+
+    Attributes:
+        cell: the cell specification.
+        value: the job payload (report or miss-ratio tuple).
+        references: references replayed by the cell.
+        wall_seconds: execution wall time (0.0 for a cache hit).
+        cached: True iff the result came from the on-disk cache.
+        key: the cell's content-hash cache key.
+    """
+
+    cell: CampaignCell
+    value: object
+    references: int
+    wall_seconds: float
+    cached: bool
+    key: str
+
+    @property
+    def label(self) -> str:
+        """The cell's display label."""
+        return self.cell.label
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """All cell outcomes of one campaign, in submission order."""
+
+    outcomes: tuple[CellOutcome, ...]
+    wall_seconds: float
+    workers: int
+
+    def values(self) -> list:
+        """The job payloads, in submission order."""
+        return [outcome.value for outcome in self.outcomes]
+
+    def by_label(self) -> dict[str, list[CellOutcome]]:
+        """Outcomes grouped by cell label (insertion-ordered)."""
+        grouped: dict[str, list[CellOutcome]] = {}
+        for outcome in self.outcomes:
+            grouped.setdefault(outcome.label, []).append(outcome)
+        return grouped
+
+    @property
+    def cells(self) -> int:
+        """Total number of cells."""
+        return len(self.outcomes)
+
+    @property
+    def cached_cells(self) -> int:
+        """Cells served from the result cache."""
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
+    @property
+    def simulated_cells(self) -> int:
+        """Cells actually executed this run."""
+        return self.cells - self.cached_cells
+
+    @property
+    def simulated_references(self) -> int:
+        """References replayed by the executed (non-cached) cells."""
+        return sum(o.references for o in self.outcomes if not o.cached)
+
+    @property
+    def references_per_second(self) -> float:
+        """Aggregate throughput of the executed cells (0.0 if all cached).
+
+        Computed against campaign wall time, so it reflects the *parallel*
+        throughput the user actually observed.
+        """
+        if self.simulated_cells == 0 or self.wall_seconds <= 0:
+            return 0.0
+        return self.simulated_references / self.wall_seconds
+
+    def summary(self) -> str:
+        """Human-readable per-campaign accounting."""
+        lines = [
+            f"campaign: {self.cells} cells "
+            f"({self.cached_cells} cached, {self.simulated_cells} simulated) "
+            f"in {self.wall_seconds:.2f}s on {self.workers} worker(s)"
+        ]
+        if self.simulated_cells:
+            lines.append(
+                f"  replayed {self.simulated_references:,} references "
+                f"at {self.references_per_second:,.0f} refs/s"
+            )
+            slowest = max(
+                (o for o in self.outcomes if not o.cached),
+                key=lambda o: o.wall_seconds,
+            )
+            lines.append(
+                f"  slowest cell: {slowest.label} ({slowest.wall_seconds:.2f}s)"
+            )
+        return "\n".join(lines)
+
+
+def _resolve_cache(cache) -> ResultCache | None:
+    """Interpret the ``cache`` argument of :func:`run_campaign`."""
+    if cache is False:
+        return None
+    if isinstance(cache, ResultCache):
+        return cache
+    if cache is None:
+        directory = os.environ.get(CACHE_DIR_ENV)
+        return ResultCache(directory) if directory else None
+    return ResultCache(cache)
+
+
+def run_campaign(
+    cells: Iterable[CampaignCell] | Sequence[CampaignCell],
+    workers: int | None = None,
+    cache: ResultCache | str | Path | bool | None = None,
+    progress: Callable[[CellOutcome], None] | None = None,
+) -> CampaignResult:
+    """Execute a campaign: every cell, in parallel, memoized on disk.
+
+    Args:
+        cells: the trace x configuration cells to run.
+        workers: process count; defaults to ``REPRO_WORKERS`` or
+            ``os.cpu_count()``.  1 means serial in-process execution.
+        cache: result cache — a :class:`ResultCache`, a directory path,
+            ``False`` to disable, or ``None`` to use ``REPRO_CACHE_DIR``
+            (no caching if unset).
+        progress: optional callback invoked once per cell, in submission
+            order, as its outcome becomes available.
+
+    Returns:
+        A :class:`CampaignResult` whose outcomes are in submission order —
+        deterministic and bit-identical across worker counts.
+    """
+    cells = list(cells)
+    count = worker_count(workers)
+    store = _resolve_cache(cache)
+    started = time.perf_counter()
+
+    outcomes: list[CellOutcome | None] = [None] * len(cells)
+    pending: list[tuple[int, CampaignCell, str]] = []
+    for index, cell in enumerate(cells):
+        key = cell_key(cell)
+        hit = store.get(key) if store is not None else _MISS
+        if hit is not _MISS and isinstance(hit, CellResult):
+            outcomes[index] = CellOutcome(
+                cell=cell,
+                value=hit.value,
+                references=hit.references,
+                wall_seconds=0.0,
+                cached=True,
+                key=key,
+            )
+        else:
+            pending.append((index, cell, key))
+
+    def record(index: int, cell: CampaignCell, key: str, result: CellResult) -> None:
+        outcomes[index] = CellOutcome(
+            cell=cell,
+            value=result.value,
+            references=result.references,
+            wall_seconds=result.wall_seconds,
+            cached=False,
+            key=key,
+        )
+        if store is not None:
+            store.put(key, result)
+
+    if pending:
+        if count == 1 or len(pending) == 1:
+            for index, cell, key in pending:
+                record(index, cell, key, run_cell(cell))
+        else:
+            with ProcessPoolExecutor(max_workers=min(count, len(pending))) as pool:
+                futures = [
+                    (index, cell, key, pool.submit(run_cell, cell))
+                    for index, cell, key in pending
+                ]
+                # Collect in submission order: merging is deterministic no
+                # matter which worker finishes first.
+                for index, cell, key, future in futures:
+                    record(index, cell, key, future.result())
+
+    finished = [outcome for outcome in outcomes if outcome is not None]
+    if progress is not None:
+        for outcome in finished:
+            progress(outcome)
+    return CampaignResult(
+        outcomes=tuple(finished),
+        wall_seconds=time.perf_counter() - started,
+        workers=count,
+    )

@@ -7,6 +7,7 @@ simulator operations::
     repro-cachesim characterize ZGREP VCCOM
     repro-cachesim generate ZGREP -o zgrep.rtrc --length 100000
     repro-cachesim simulate ZGREP --size 16384 --split --purge 20000
+    repro-cachesim campaign --traces VCCOM,ZGREP --sizes 1024,4096 --workers 4
     repro-cachesim table1 --length 100000
     repro-cachesim table2
     repro-cachesim table3
@@ -85,6 +86,38 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("generate", help="generate a trace to a file")
     p.add_argument("trace")
     p.add_argument("-o", "--output", required=True)
+    _add_length(p)
+
+    p = sub.add_parser(
+        "campaign",
+        help="run a trace x size simulation campaign in parallel, with "
+        "result caching (see REPRO_WORKERS / REPRO_CACHE_DIR)",
+    )
+    p.add_argument("--traces", type=lambda s: s.split(","), default=None,
+                   help="comma-separated trace names (default: all 57)")
+    p.add_argument("--sizes", type=_sizes, default=None,
+                   help="comma-separated cache sizes in bytes")
+    p.add_argument("--line", type=int, default=16, help="line size in bytes")
+    p.add_argument("--assoc", type=int, default=None,
+                   help="set associativity (default: fully associative)")
+    p.add_argument("--replacement", default="lru",
+                   choices=["lru", "fifo", "random", "lfu"])
+    p.add_argument("--write", default="copy-back",
+                   choices=["copy-back", "write-through"])
+    p.add_argument("--fetch", default="demand",
+                   choices=["demand", "prefetch-always", "prefetch-tagged"])
+    p.add_argument("--split", action="store_true", help="split I/D caches")
+    p.add_argument("--purge", type=int, default=None,
+                   help="purge every N references (task switching)")
+    p.add_argument("--stack", action="store_true",
+                   help="use the one-pass LRU stack sweep per trace instead "
+                   "of direct simulation (fully associative LRU only)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes (default: REPRO_WORKERS or CPU count)")
+    p.add_argument("--cache-dir", default=None,
+                   help="result-cache directory (default: REPRO_CACHE_DIR)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the on-disk result cache")
     _add_length(p)
 
     p = sub.add_parser("simulate", help="simulate one trace / cache configuration")
@@ -205,6 +238,66 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
     print(f"dirty data pushes: {stats.dirty_data_push_fraction:.3f} of {stats.data_pushes}")
 
 
+def _cmd_campaign(args: argparse.Namespace) -> None:
+    from .campaign import run_campaign
+    from .core.jobs import CampaignCell, SimulateJob, StackSweepJob, TraceSpec
+
+    names = args.traces if args.traces is not None else catalog.names()
+    for name in names:
+        catalog.get(name)  # fail fast on unknown traces
+    sizes = args.sizes or list(analysis.PAPER_CACHE_SIZES)
+
+    cells = []
+    if args.stack:
+        job = StackSweepJob(
+            sizes=tuple(sizes), line_size=args.line, purge_interval=args.purge
+        )
+        for name in names:
+            cells.append(
+                CampaignCell(
+                    label=name, trace=TraceSpec.catalog(name, args.length), job=job
+                )
+            )
+    else:
+        for name in names:
+            spec = TraceSpec.catalog(name, args.length)
+            for size in sizes:
+                cells.append(
+                    CampaignCell(
+                        label=f"{name}/{size}",
+                        trace=spec,
+                        job=SimulateJob(
+                            size=size,
+                            line_size=args.line,
+                            associativity=args.assoc,
+                            replacement=args.replacement,
+                            write=args.write,
+                            fetch=args.fetch,
+                            split=args.split,
+                            purge_interval=args.purge,
+                        ),
+                    )
+                )
+
+    cache = False if args.no_cache else (args.cache_dir or None)
+    result = run_campaign(cells, workers=args.workers, cache=cache)
+
+    series: dict[str, list[float]] = {}
+    if args.stack:
+        for outcome in result.outcomes:
+            series[outcome.label] = list(outcome.value)
+    else:
+        for outcome in result.outcomes:
+            name = outcome.label.rsplit("/", 1)[0]
+            series.setdefault(name, []).append(outcome.value.miss_ratio)
+    print(analysis.render_series(
+        "trace \\ bytes", sizes, series,
+        title=f"Campaign miss ratios ({'stack sweep' if args.stack else 'simulation'})",
+    ))
+    print()
+    print(result.summary())
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -232,6 +325,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {len(trace)} references to {args.output}")
     elif command == "simulate":
         _cmd_simulate(args)
+    elif command == "campaign":
+        _cmd_campaign(args)
     elif command == "table1":
         result = analysis.table1_experiment(sizes=args.sizes or analysis.PAPER_CACHE_SIZES,
                                             length=args.length)

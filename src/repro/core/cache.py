@@ -142,8 +142,14 @@ class Cache:
         Supports warm-start measurement: replay a warmup prefix, reset,
         then measure — removing the cold-start bias the paper's short
         traces suffer from (Section 1.1's caveat 1).
+
+        The counters are zeroed *in place*: an externally shared ``stats``
+        object (see the constructor) keeps observing this cache.  The
+        write-combining word is also forgotten so the first measured
+        write-through is never miscounted as combined with a warmup store.
         """
-        self.stats = CacheStats(line_size=self.geometry.line_size)
+        self.stats.clear()
+        self._last_write_word = -1
 
     def contains(self, address: int) -> bool:
         """True iff the line holding ``address`` is resident."""

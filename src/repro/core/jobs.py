@@ -1,0 +1,328 @@
+"""Campaign cells: picklable, content-hashable units of simulation work.
+
+The campaign runner (:mod:`repro.campaign`) fans trace x configuration
+cells out across worker processes and memoizes finished cells on disk.
+Both mechanisms need the *description* of a cell to be self-contained:
+
+* **picklable** — a cell is shipped to a ``ProcessPoolExecutor`` worker,
+  which rebuilds the trace and the cache organization locally rather than
+  serializing megabytes of reference stream per cell;
+* **content-hashable** — the on-disk result cache is keyed by a stable
+  hash of (trace identity, configuration, length, purge interval), so a
+  re-run of the same cell is served from disk.
+
+A cell is a :class:`CampaignCell`: a :class:`TraceSpec` describing how to
+obtain the reference stream, plus a job describing what to do with it —
+either a :class:`SimulateJob` (one direct simulation, yielding a
+:class:`~repro.core.simulator.SimulationReport`) or a
+:class:`StackSweepJob` (a one-pass LRU stack-distance sweep over several
+capacities, yielding a miss-ratio tuple).
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..trace.record import AccessKind
+from ..trace.stream import Trace
+from .address import CacheGeometry
+from .fetch import FetchPolicy
+from .organization import CacheOrganization, SplitCache, UnifiedCache
+from .replacement import policy_factory
+from .simulator import SimulationReport, simulate
+from .stackdist import lru_miss_ratio_curve
+from .write import WritePolicy, WriteStrategy
+
+__all__ = [
+    "TraceSpec",
+    "SimulateJob",
+    "StackSweepJob",
+    "CampaignCell",
+    "CellResult",
+    "cell_key",
+    "run_cell",
+]
+
+#: Bump when the synthetic-trace generator or the simulator semantics
+#: change in a way that invalidates previously cached cell results.
+CACHE_SCHEMA_VERSION = 1
+
+_WRITE_POLICIES = {
+    "copy-back": WritePolicy(WriteStrategy.COPY_BACK, allocate_on_write=True),
+    "write-through": WritePolicy(WriteStrategy.WRITE_THROUGH, allocate_on_write=False),
+    "write-through-allocate": WritePolicy(
+        WriteStrategy.WRITE_THROUGH, allocate_on_write=True
+    ),
+}
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """How a worker process obtains one reference stream.
+
+    Three kinds are supported:
+
+    * ``catalog`` — a named catalog trace, regenerated deterministically
+      from its workload parameters (``name`` + ``length`` identify it);
+    * ``mix`` — a round-robin multiprogramming interleave of catalog
+      traces (the paper's Table 3 methodology);
+    * ``inline`` — a literal trace carried as raw array bytes, for traces
+      that exist only in the caller's process.
+
+    Use the :meth:`catalog` / :meth:`mix` / :meth:`inline` constructors
+    rather than instantiating directly.
+    """
+
+    kind: str
+    name: str
+    length: int | None = None
+    members: tuple[str, ...] = ()
+    quantum: int | None = None
+    total: int | None = None
+    payload: tuple = field(default=(), repr=False)
+
+    @classmethod
+    def catalog(cls, name: str, length: int | None = None) -> "TraceSpec":
+        """A named catalog trace (``length=None`` = the paper's length)."""
+        return cls(kind="catalog", name=name, length=length)
+
+    @classmethod
+    def mix(
+        cls,
+        label: str,
+        members: tuple[str, ...],
+        quantum: int,
+        length: int | None = None,
+        total: int | None = None,
+    ) -> "TraceSpec":
+        """A round-robin interleave of catalog traces.
+
+        Args:
+            label: display name of the mix.
+            members: catalog trace names in scheduling order.
+            quantum: references per time slice.
+            length: references generated per member (None = paper length).
+            total: total references of the mixed stream (None = sum of the
+                member lengths).
+        """
+        return cls(
+            kind="mix",
+            name=label,
+            length=length,
+            members=tuple(members),
+            quantum=quantum,
+            total=total,
+        )
+
+    @classmethod
+    def inline(cls, trace: Trace) -> "TraceSpec":
+        """A literal trace, carried by value (hashed by content)."""
+        return cls(
+            kind="inline",
+            name=trace.metadata.name,
+            length=len(trace),
+            payload=(
+                trace.kinds.tobytes(),
+                trace.addresses.tobytes(),
+                trace.sizes.tobytes(),
+            ),
+        )
+
+    def build(self) -> Trace:
+        """Materialize the trace (in whatever process this runs in)."""
+        return _build_trace(self)
+
+    def identity(self) -> dict:
+        """JSON-able identity used for cache keying."""
+        out: dict = {"kind": self.kind, "name": self.name, "length": self.length}
+        if self.kind == "mix":
+            out["members"] = list(self.members)
+            out["quantum"] = self.quantum
+            out["total"] = self.total
+        elif self.kind == "inline":
+            digest = hashlib.sha256()
+            for blob in self.payload:
+                digest.update(blob)
+            out["content"] = digest.hexdigest()
+        return out
+
+
+@functools.lru_cache(maxsize=64)
+def _build_trace(spec: TraceSpec) -> Trace:
+    """Build (and memoize per process) the trace a spec describes."""
+    if spec.kind == "catalog":
+        from ..workloads import catalog
+
+        return catalog.generate(spec.name, spec.length)
+    if spec.kind == "mix":
+        from ..trace.filters import interleave_round_robin
+        from ..workloads import catalog
+
+        return interleave_round_robin(
+            [catalog.generate(m, spec.length) for m in spec.members],
+            quantum=spec.quantum,
+            length=spec.total,
+        )
+    if spec.kind == "inline":
+        kinds_blob, addresses_blob, sizes_blob = spec.payload
+        from ..trace.stream import TraceMetadata
+
+        return Trace(
+            np.frombuffer(kinds_blob, dtype=np.int8),
+            np.frombuffer(addresses_blob, dtype=np.int64),
+            np.frombuffer(sizes_blob, dtype=np.int32),
+            TraceMetadata(name=spec.name),
+        )
+    raise ValueError(f"unknown trace spec kind {spec.kind!r}")
+
+
+@dataclass(frozen=True)
+class SimulateJob:
+    """One direct simulation: trace -> cache organization -> report.
+
+    Fields mirror the ``simulate`` CLI subcommand; the worker rebuilds the
+    organization from these names so the job stays picklable and hashable.
+    """
+
+    size: int
+    line_size: int = 16
+    associativity: int | None = None
+    replacement: str = "lru"
+    write: str = "copy-back"
+    fetch: str = "demand"
+    split: bool = False
+    purge_interval: int | None = None
+    limit: int | None = None
+    warmup: int = 0
+
+    def build_organization(self) -> CacheOrganization:
+        """A fresh organization for one run of this job."""
+        geometry = CacheGeometry(self.size, self.line_size, self.associativity)
+        write = _WRITE_POLICIES[self.write]
+        fetch = FetchPolicy(self.fetch)
+        replacement = policy_factory(self.replacement)
+        organization_cls = SplitCache if self.split else UnifiedCache
+        return organization_cls(
+            geometry, replacement=replacement, write_policy=write, fetch_policy=fetch
+        )
+
+    def run(self, trace: Trace) -> SimulationReport:
+        """Execute the job on a materialized trace."""
+        return simulate(
+            trace,
+            self.build_organization(),
+            purge_interval=self.purge_interval,
+            limit=self.limit,
+            warmup=self.warmup,
+        )
+
+    def identity(self) -> dict:
+        """JSON-able identity used for cache keying."""
+        return {
+            "job": "simulate",
+            "size": self.size,
+            "line_size": self.line_size,
+            "associativity": self.associativity,
+            "replacement": self.replacement,
+            "write": self.write,
+            "fetch": self.fetch,
+            "split": self.split,
+            "purge_interval": self.purge_interval,
+            "limit": self.limit,
+            "warmup": self.warmup,
+        }
+
+
+@dataclass(frozen=True)
+class StackSweepJob:
+    """A one-pass LRU stack-distance sweep over several capacities.
+
+    Returns the miss-ratio tuple aligned with ``sizes`` — the cheap path
+    for every LRU/demand-fetch configuration (Tables 1/5, Figures 1/3/4).
+    """
+
+    sizes: tuple[int, ...]
+    line_size: int = 16
+    kinds: tuple[int, ...] | None = None
+    purge_interval: int | None = None
+
+    def run(self, trace: Trace) -> tuple[float, ...]:
+        """Execute the sweep on a materialized trace."""
+        kinds = [AccessKind(k) for k in self.kinds] if self.kinds is not None else None
+        curve = lru_miss_ratio_curve(
+            trace,
+            list(self.sizes),
+            line_size=self.line_size,
+            kinds=kinds,
+            purge_interval=self.purge_interval,
+        )
+        return tuple(float(v) for v in curve)
+
+    def identity(self) -> dict:
+        """JSON-able identity used for cache keying."""
+        return {
+            "job": "stack-sweep",
+            "sizes": list(self.sizes),
+            "line_size": self.line_size,
+            "kinds": list(self.kinds) if self.kinds is not None else None,
+            "purge_interval": self.purge_interval,
+        }
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One trace x configuration cell of a campaign.
+
+    The ``label`` is display-only (it does not enter the cache key), so
+    two drivers asking for the same work under different names share one
+    cached result.
+    """
+
+    label: str
+    trace: TraceSpec
+    job: SimulateJob | StackSweepJob
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """What one executed cell produced (the cacheable part).
+
+    Attributes:
+        value: the job's payload (a report or a miss-ratio tuple).
+        references: references replayed (throughput denominator).
+        wall_seconds: execution time inside the worker, trace build
+            included (not cached — a cache hit reports 0.0).
+    """
+
+    value: SimulationReport | tuple[float, ...]
+    references: int
+    wall_seconds: float
+
+
+def cell_key(cell: CampaignCell) -> str:
+    """Stable content hash of a cell (trace identity + configuration)."""
+    document = {
+        "version": CACHE_SCHEMA_VERSION,
+        "trace": cell.trace.identity(),
+        "work": cell.job.identity(),
+    }
+    canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def run_cell(cell: CampaignCell) -> CellResult:
+    """Execute one cell (worker entry point; must stay module-level)."""
+    start = time.perf_counter()
+    trace = cell.trace.build()
+    value = cell.job.run(trace)
+    return CellResult(
+        value=value,
+        references=len(trace),
+        wall_seconds=time.perf_counter() - start,
+    )

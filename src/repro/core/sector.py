@@ -119,8 +119,9 @@ class SectorCache:
         self.stats.purges += 1
 
     def reset_statistics(self) -> None:
-        """Zero the counters without touching cache contents (warm start)."""
-        self.stats = CacheStats(line_size=self.geometry.subblock_size)
+        """Zero the counters in place without touching cache contents
+        (warm start; external holders of ``stats`` stay attached)."""
+        self.stats.clear()
 
     def contains(self, address: int) -> bool:
         """True iff the sub-block holding ``address`` is resident and valid."""

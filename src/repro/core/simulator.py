@@ -101,9 +101,9 @@ def simulate(
     sizes = trace.sizes[:length].tolist()
 
     warmup = min(warmup, length)
+    countdown = purge_interval if purge_interval is not None else 0
     if warmup:
         warm_access = organization.access_raw
-        countdown = purge_interval or 0
         for kind, address, size in zip(
             kinds[:warmup], addresses[:warmup], sizes[:warmup]
         ):
@@ -124,8 +124,9 @@ def simulate(
         for kind, address, size in zip(kinds, addresses, sizes):
             access(kind, address, size)
     else:
+        # The countdown carries the warmup loop's residual, so the purge
+        # clock runs over warmup + measured references as documented.
         purge = organization.purge
-        countdown = purge_interval
         for kind, address, size in zip(kinds, addresses, sizes):
             access(kind, address, size)
             countdown -= 1

@@ -214,13 +214,14 @@ def lru_miss_ratio_curve(
     else:
         addresses = trace.addresses
         sizes = trace.sizes
-        positions = None
+        # Positions are original trace indices, fixed *before* line
+        # expansion so the purge clock counts trace references even when
+        # line-straddling accesses expand into several line references.
+        positions = np.arange(len(trace)) if purge_interval is not None else None
 
     lines, positions = _expand_lines(addresses, sizes, line_size, positions)
     resets = None
     if purge_interval is not None:
-        if positions is None:
-            positions = np.arange(len(lines))
         # Reset before the first reference of each new purge epoch.
         epoch = positions // purge_interval
         resets = np.nonzero(np.diff(epoch) > 0)[0] + 1

@@ -207,6 +207,22 @@ class CacheStats:
         if other.references:
             self.line_size = other.line_size
 
+    def clear(self) -> None:
+        """Zero every counter in place, keeping the line size.
+
+        Unlike building a fresh object, clearing preserves object identity,
+        so externally shared aggregates (a split organization's combined
+        stats, a caller-owned counter passed to ``Cache(stats=...)``) keep
+        observing the cache after a warm-start reset.
+        """
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, ClassCounts):
+                value.references = 0
+                value.misses = 0
+            elif spec.name != "line_size":
+                setattr(self, spec.name, 0)
+
     def snapshot(self) -> "CacheStats":
         """Deep copy of the current counters."""
         copy = CacheStats(line_size=self.line_size)

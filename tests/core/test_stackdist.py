@@ -89,6 +89,34 @@ class TestCurveValidation:
         curve = lru_miss_ratio_curve(trace, [64])
         assert curve[0] == 1.0  # both line-touches are cold
 
+    def test_purge_epochs_count_trace_references_despite_straddles(self):
+        # Regression: with kinds=None and a line-straddling access, purge
+        # epochs were computed over the *expanded* line stream, shifting
+        # every later purge boundary.  The purge clock must tick once per
+        # trace reference, matching both the simulator and the
+        # kinds-filtered path.
+        entries = [
+            (_R, 14, 4),  # straddles lines 0 and 1
+            (_R, 32, 4),  # line 2
+            (_R, 36, 4),  # line 2 again: hits iff the purge clock is right
+            (_R, 48, 4),  # line 3 — first reference of the second epoch
+            (_R, 0, 4),
+            (_R, 32, 4),
+        ]
+        trace = make_trace(entries)
+        sizes = [64, 128]
+        unfiltered = lru_miss_ratio_curve(trace, sizes, purge_interval=3)
+        filtered = lru_miss_ratio_curve(
+            trace, sizes, kinds=[AccessKind.READ], purge_interval=3
+        )
+        # All references are reads, so filtering changes nothing.
+        assert np.allclose(unfiltered, filtered)
+        for size, expected in zip(sizes, unfiltered):
+            report = simulate(
+                trace, UnifiedCache(CacheGeometry(size, 16)), purge_interval=3
+            )
+            assert report.miss_ratio == pytest.approx(float(expected), abs=1e-12)
+
 
 class TestEquivalenceWithSimulator:
     def test_unified_no_purge(self, random_trace):

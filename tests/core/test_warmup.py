@@ -3,11 +3,15 @@
 import pytest
 
 from repro.core import (
+    Cache,
     CacheGeometry,
+    CacheStats,
     SectorCacheOrganization,
     SectorGeometry,
     SplitCache,
     UnifiedCache,
+    WritePolicy,
+    WriteStrategy,
     simulate,
 )
 from repro.trace import AccessKind
@@ -18,6 +22,33 @@ _R = AccessKind.READ
 
 
 class TestResetStatistics:
+    def test_shared_stats_object_stays_attached(self):
+        # Regression: reset_statistics() replaced self.stats with a fresh
+        # object, silently severing an externally shared aggregate (the
+        # constructor documents stats= as externally owned).
+        shared = CacheStats(line_size=16)
+        cache = Cache(CacheGeometry(64, 16), stats=shared)
+        cache.access_raw(int(_R), 0, 4)
+        cache.reset_statistics()
+        cache.access_raw(int(_R), 16, 4)
+        assert cache.stats is shared
+        assert shared.references == 1
+        assert shared.misses == 1
+
+    def test_reset_forgets_write_combining_word(self):
+        # Regression: reset_statistics() left _last_write_word stale, so
+        # the first measured write-through to the same word as a warmup
+        # store was miscounted as combined.
+        policy = WritePolicy(
+            WriteStrategy.WRITE_THROUGH, allocate_on_write=False, combining_bytes=4
+        )
+        cache = Cache(CacheGeometry(256, 16), write_policy=policy)
+        cache.access_raw(int(AccessKind.WRITE), 0, 2)  # warmup store, word 0
+        cache.reset_statistics()
+        cache.access_raw(int(AccessKind.WRITE), 2, 2)  # same word, post-reset
+        assert cache.stats.write_throughs == 1
+        assert cache.stats.combined_writes == 0
+
     def test_counters_zeroed_contents_kept(self):
         organization = UnifiedCache(CacheGeometry(64, 16))
         organization.access_raw(int(_R), 0, 4)
@@ -61,6 +92,26 @@ class TestWarmup:
         assert report.overall.purges == 1  # only the measured one is counted
         # After warmup's purge, reference 5 misses again.
         assert report.overall.misses >= 1
+
+    def test_warmup_residual_carries_into_measured_loop(self):
+        # Regression: the purge countdown left over from the warmup prefix
+        # must carry into the measured loop, not restart from a full
+        # interval.  10 same-line reads, purge every 4, warmup 3: the clock
+        # purges after global references 4 and 8 — both inside the measured
+        # region — so the measured run sees 2 purges and 2 re-miss faults.
+        trace = make_trace([(_R, 0)] * 10)
+        report = simulate(
+            trace, UnifiedCache(CacheGeometry(64, 16)), purge_interval=4, warmup=3
+        )
+        assert report.overall.purges == 2
+        assert report.overall.misses == 2
+        # A warmup that is an exact multiple of the interval leaves a full
+        # countdown: identical to no warmup as far as the clock goes.
+        aligned = simulate(
+            trace, UnifiedCache(CacheGeometry(64, 16)), purge_interval=4, warmup=8
+        )
+        assert aligned.overall.purges == 0  # refs 9, 10: countdown at 2
+        assert aligned.overall.misses == 1  # only the re-miss after warmup's purge at 8
 
     def test_negative_warmup_rejected(self, tiny_trace):
         with pytest.raises(ValueError, match="warmup"):

@@ -1,0 +1,260 @@
+"""Tests for the campaign runner: parallel execution, deterministic
+merging, and the on-disk result cache."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CACHE_DIR_ENV,
+    WORKERS_ENV,
+    ResultCache,
+    run_campaign,
+    worker_count,
+)
+from repro.core import CacheGeometry, UnifiedCache, lru_miss_ratio_curve, simulate
+from repro.core.jobs import (
+    CampaignCell,
+    CellResult,
+    SimulateJob,
+    StackSweepJob,
+    TraceSpec,
+    cell_key,
+    run_cell,
+)
+from repro.trace import AccessKind
+from repro.trace.filters import interleave_round_robin
+from repro.workloads import catalog
+
+from .conftest import make_trace
+
+LENGTH = 8_000
+
+SIM_JOB = SimulateJob(size=1024, purge_interval=2_000)
+SWEEP_JOB = StackSweepJob(sizes=(512, 2048))
+
+
+def small_cells():
+    return [
+        CampaignCell("ZGREP/sim", TraceSpec.catalog("ZGREP", LENGTH), SIM_JOB),
+        CampaignCell("PLO/sim", TraceSpec.catalog("PLO", LENGTH), SIM_JOB),
+        CampaignCell("ZGREP/sweep", TraceSpec.catalog("ZGREP", LENGTH), SWEEP_JOB),
+        CampaignCell("PLO/sweep", TraceSpec.catalog("PLO", LENGTH), SWEEP_JOB),
+    ]
+
+
+class TestWorkerCount:
+    def test_explicit_argument_wins(self):
+        assert worker_count(3) == 3
+
+    def test_environment_override(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "5")
+        assert worker_count() == 5
+
+    def test_defaults_to_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert worker_count() >= 1
+
+    def test_never_below_one(self):
+        assert worker_count(0) == 1
+        assert worker_count(-4) == 1
+
+    def test_non_numeric_environment_is_a_clear_error(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "abc")
+        with pytest.raises(ValueError, match=WORKERS_ENV):
+            worker_count()
+
+
+class TestTraceSpec:
+    def test_catalog_build_matches_generate(self):
+        spec = TraceSpec.catalog("ZGREP", LENGTH)
+        assert spec.build() == catalog.generate("ZGREP", LENGTH)
+
+    def test_mix_build_matches_interleave(self):
+        members = ("ZVI", "ZGREP")
+        spec = TraceSpec.mix("mix", members, quantum=1_000, length=4_000)
+        expected = interleave_round_robin(
+            [catalog.generate(m, 4_000) for m in members], quantum=1_000
+        )
+        assert spec.build() == expected
+
+    def test_inline_roundtrip(self):
+        trace = make_trace([(AccessKind.READ, a) for a in (0, 16, 32, 0)])
+        rebuilt = TraceSpec.inline(trace).build()
+        assert rebuilt == trace
+        assert rebuilt.metadata.name == trace.metadata.name
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="trace spec kind"):
+            TraceSpec(kind="nope", name="x").build()
+
+
+class TestCellKey:
+    def test_label_does_not_enter_the_key(self):
+        spec = TraceSpec.catalog("ZGREP", LENGTH)
+        a = CampaignCell("one-name", spec, SIM_JOB)
+        b = CampaignCell("other-name", spec, SIM_JOB)
+        assert cell_key(a) == cell_key(b)
+
+    def test_configuration_changes_the_key(self):
+        spec = TraceSpec.catalog("ZGREP", LENGTH)
+        base = cell_key(CampaignCell("c", spec, SIM_JOB))
+        assert base != cell_key(
+            CampaignCell("c", spec, SimulateJob(size=1024, purge_interval=4_000))
+        )
+        assert base != cell_key(
+            CampaignCell("c", TraceSpec.catalog("ZGREP", LENGTH * 2), SIM_JOB)
+        )
+
+    def test_inline_key_tracks_content(self):
+        first = make_trace([(AccessKind.READ, 0), (AccessKind.READ, 16)])
+        second = make_trace([(AccessKind.READ, 0), (AccessKind.READ, 32)])
+        assert cell_key(
+            CampaignCell("c", TraceSpec.inline(first), SWEEP_JOB)
+        ) != cell_key(CampaignCell("c", TraceSpec.inline(second), SWEEP_JOB))
+
+
+class TestJobs:
+    def test_simulate_job_matches_direct_simulation(self):
+        trace = catalog.generate("ZGREP", LENGTH)
+        report = SIM_JOB.run(trace)
+        expected = simulate(
+            trace, UnifiedCache(CacheGeometry(1024, 16)), purge_interval=2_000
+        )
+        assert report == expected
+
+    def test_stack_sweep_job_matches_curve(self):
+        trace = catalog.generate("ZGREP", LENGTH)
+        values = SWEEP_JOB.run(trace)
+        expected = lru_miss_ratio_curve(trace, [512, 2048])
+        assert np.allclose(values, expected)
+
+    def test_run_cell_reports_references(self):
+        result = run_cell(small_cells()[0])
+        assert result.references == LENGTH
+        assert result.wall_seconds > 0
+
+
+class TestRunCampaign:
+    def test_serial_equals_parallel_bit_identical(self):
+        cells = small_cells()
+        serial = run_campaign(cells, workers=1, cache=False)
+        parallel = run_campaign(cells, workers=2, cache=False)
+        assert serial.workers == 1 and parallel.workers == 2
+        # SimulationReports and sweep tuples compare by value, field by
+        # field — equality here means bit-identical statistics.
+        assert serial.values() == parallel.values()
+        assert [o.label for o in serial.outcomes] == [o.label for o in parallel.outcomes]
+
+    def test_merge_is_in_submission_order(self):
+        cells = small_cells()
+        result = run_campaign(cells, workers=2, cache=False)
+        assert [o.label for o in result.outcomes] == [c.label for c in cells]
+
+    def test_cache_reuse_on_repeat(self, tmp_path):
+        cells = small_cells()
+        first = run_campaign(cells, workers=1, cache=tmp_path)
+        second = run_campaign(cells, workers=1, cache=tmp_path)
+        assert first.cached_cells == 0 and first.simulated_cells == len(cells)
+        assert second.cached_cells == len(cells) and second.simulated_cells == 0
+        assert first.values() == second.values()
+        assert all(o.cached for o in second.outcomes)
+        assert second.references_per_second == 0.0
+
+    def test_cache_shared_across_labels_and_campaigns(self, tmp_path):
+        spec = TraceSpec.catalog("ZGREP", LENGTH)
+        run_campaign([CampaignCell("a", spec, SIM_JOB)], workers=1, cache=tmp_path)
+        renamed = run_campaign(
+            [CampaignCell("b", spec, SIM_JOB)], workers=1, cache=tmp_path
+        )
+        assert renamed.cached_cells == 1
+
+    def test_cache_dir_from_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        cells = small_cells()[:2]
+        run_campaign(cells, workers=1)
+        again = run_campaign(cells, workers=1)
+        assert again.cached_cells == 2
+
+    def test_no_cache_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        cells = small_cells()[:1]
+        run_campaign(cells, workers=1)
+        result = run_campaign(cells, workers=1)
+        assert result.cached_cells == 0
+
+    # "not a pickle" raises UnpicklingError; "garbage\n" happens to parse
+    # as a protocol-0 opcode and dies with ValueError instead.  Both must
+    # degrade to a miss.
+    @pytest.mark.parametrize("junk", [b"not a pickle", b"garbage\n"])
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path, junk):
+        cells = small_cells()[:1]
+        store = ResultCache(tmp_path)
+        run_campaign(cells, workers=1, cache=store)
+        key = cell_key(cells[0])
+        path = store._path(key)
+        path.write_bytes(junk)
+        result = run_campaign(cells, workers=1, cache=store)
+        assert result.cached_cells == 0
+        # The repaired entry is readable again.
+        assert isinstance(store.get(key), CellResult)
+
+    def test_progress_callback_in_submission_order(self):
+        cells = small_cells()
+        seen = []
+        run_campaign(cells, workers=1, cache=False, progress=lambda o: seen.append(o.label))
+        assert seen == [c.label for c in cells]
+
+    def test_summary_mentions_throughput_and_cache(self, tmp_path):
+        cells = small_cells()[:2]
+        first = run_campaign(cells, workers=1, cache=tmp_path)
+        assert "refs/s" in first.summary()
+        assert "0 cached" in first.summary()
+        second = run_campaign(cells, workers=1, cache=tmp_path)
+        assert "2 cached" in second.summary()
+
+    def test_by_label_groups_outcomes(self):
+        cells = [
+            CampaignCell("same", TraceSpec.catalog("ZGREP", LENGTH), SIM_JOB),
+            CampaignCell("same", TraceSpec.catalog("ZGREP", LENGTH), SWEEP_JOB),
+        ]
+        result = run_campaign(cells, workers=1, cache=False)
+        assert len(result.by_label()["same"]) == 2
+
+    def test_results_are_picklable(self):
+        result = run_campaign(small_cells()[:1], workers=1, cache=False)
+        assert pickle.loads(pickle.dumps(result)).values() == result.values()
+
+
+class TestExperimentEquivalence:
+    """The refactored drivers must agree across worker counts."""
+
+    def test_table1_serial_equals_parallel(self):
+        from repro.analysis import table1_experiment
+
+        names = ["ZGREP", "PLO"]
+        sizes = (512, 4096)
+        serial = table1_experiment(names=names, sizes=sizes, length=LENGTH, workers=1)
+        parallel = table1_experiment(names=names, sizes=sizes, length=LENGTH, workers=2)
+        assert serial.curves == parallel.curves
+        assert serial.trace_length == parallel.trace_length
+
+    def test_prefetch_study_serial_equals_parallel(self):
+        from repro.analysis import prefetch_study
+
+        serial = prefetch_study(labels=["PLO"], sizes=(512,), length=LENGTH, workers=1)
+        parallel = prefetch_study(labels=["PLO"], sizes=(512,), length=LENGTH, workers=2)
+        assert serial.workloads == parallel.workloads
+
+    def test_figures_3_4_serial_equals_parallel(self):
+        from repro.analysis import figures_3_and_4
+
+        serial = figures_3_and_4(
+            labels=["ZGREP"], sizes=(512, 2048), length=LENGTH, workers=1
+        )
+        parallel = figures_3_and_4(
+            labels=["ZGREP"], sizes=(512, 2048), length=LENGTH, workers=2
+        )
+        assert serial.instruction == parallel.instruction
+        assert serial.data == parallel.data

@@ -76,6 +76,36 @@ class TestExperimentCommands:
         assert "Fudge factors" in out
 
 
+class TestCampaignCommand:
+    def test_simulation_campaign(self, capsys):
+        code, out = run_cli(
+            capsys, "campaign", "--traces", "ZGREP,PLO", "--sizes", "512,2048",
+            "--length", "4000", "--workers", "1", "--no-cache",
+        )
+        assert code == 0
+        assert "Campaign miss ratios" in out
+        assert "ZGREP" in out and "PLO" in out
+        assert "campaign: 4 cells" in out
+        assert "refs/s" in out
+
+    def test_stack_campaign_with_cache(self, capsys, tmp_path):
+        argv = ["campaign", "--traces", "ZGREP", "--sizes", "512,2048",
+                "--length", "4000", "--workers", "1", "--stack",
+                "--cache-dir", str(tmp_path)]
+        code, out = run_cli(capsys, *argv)
+        assert code == 0
+        assert "stack sweep" in out
+        assert "0 cached, 1 simulated" in out
+        code, out = run_cli(capsys, *argv)
+        assert code == 0
+        assert "1 cached, 0 simulated" in out
+
+    def test_unknown_trace_fails_fast(self, capsys):
+        with pytest.raises(KeyError):
+            main(["campaign", "--traces", "NOPE", "--sizes", "512",
+                  "--length", "1000", "--no-cache"])
+
+
 class TestErrors:
     def test_unknown_command_exits(self, capsys):
         with pytest.raises(SystemExit):
