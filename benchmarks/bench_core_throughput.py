@@ -1,17 +1,39 @@
 """Throughput benchmarks for the simulator core itself.
 
-These are conventional pytest-benchmark microbenchmarks (multiple rounds)
-measuring the three hot paths: the per-access cache engine, the one-pass
-stack-distance sweep, and trace generation.
+Conventional pytest-benchmark microbenchmarks (multiple rounds) over the
+hot paths: the specialized replay kernel, the generic per-access engine,
+the one-pass stack-distance sweep, the all-associativity surface kernel,
+and trace generation.
+
+Besides the usual pytest-benchmark console table, the module writes a
+machine-readable summary — references/second per hot path — to
+``benchmarks/results/BENCH_core_throughput.json`` so CI can archive and
+diff throughput without parsing terminal output.  ``REPRO_BENCH_REFS``
+scales the trace length (default 30 000; CI's smoke step uses a shorter
+setting).
 """
+
+import json
+import os
 
 import pytest
 
-from repro.core import CacheGeometry, UnifiedCache, lru_miss_ratio_curve, simulate
+from common import RESULTS_DIR
+
+from repro.core import (
+    CacheGeometry,
+    UnifiedCache,
+    associativity_miss_surface,
+    lru_miss_ratio_curve,
+    simulate,
+)
 from repro.workloads import catalog
 from repro.workloads.generator import SyntheticWorkload
 
-REFS = 30_000
+REFS = int(os.environ.get("REPRO_BENCH_REFS", "30000"))
+
+_ASSOC_WAYS = (1, 2, 4, 8, None)
+_ASSOC_CAPACITIES = (1024, 8192)
 
 
 @pytest.fixture(scope="module")
@@ -19,15 +41,45 @@ def trace():
     return catalog.generate("VCCOM", REFS)
 
 
-def test_simulator_throughput(benchmark, trace):
+@pytest.fixture(scope="module")
+def throughput_log():
+    """Collects per-path refs/sec; written to JSON when the module ends."""
+    entries = {}
+    yield entries
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {"references_per_run": REFS, "paths": entries}
+    path = RESULTS_DIR / "BENCH_core_throughput.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _record(throughput_log, name, benchmark, references):
+    mean = benchmark.stats.stats.mean
+    throughput_log[name] = {
+        "mean_seconds": mean,
+        "refs_per_second": references / mean if mean else 0.0,
+    }
+
+
+def test_simulator_kernel_throughput(benchmark, trace, throughput_log):
+    # Default engine selection: the specialized LRU demand-fetch replay.
     def run():
         return simulate(trace, UnifiedCache(CacheGeometry(16384, 16)))
 
     report = benchmark(run)
     assert report.references == REFS
+    _record(throughput_log, "simulator_kernel", benchmark, REFS)
 
 
-def test_stack_distance_throughput(benchmark, trace):
+def test_simulator_generic_throughput(benchmark, trace, throughput_log):
+    def run():
+        return simulate(trace, UnifiedCache(CacheGeometry(16384, 16)), engine="generic")
+
+    report = benchmark(run)
+    assert report.references == REFS
+    _record(throughput_log, "simulator_generic", benchmark, REFS)
+
+
+def test_stack_distance_throughput(benchmark, trace, throughput_log):
     sizes = [32 * 2**i for i in range(12)]
 
     def run():
@@ -35,9 +87,20 @@ def test_stack_distance_throughput(benchmark, trace):
 
     curve = benchmark(run)
     assert len(curve) == 12
+    _record(throughput_log, "stack_distance_sweep", benchmark, REFS)
 
 
-def test_generator_throughput(benchmark):
+def test_associativity_surface_throughput(benchmark, trace, throughput_log):
+    def run():
+        return associativity_miss_surface(trace, _ASSOC_WAYS, _ASSOC_CAPACITIES)
+
+    surface = benchmark(run)
+    assert surface.shape == (len(_ASSOC_WAYS), len(_ASSOC_CAPACITIES))
+    # One run covers the whole grid; refs/sec is per grid, not per cell.
+    _record(throughput_log, "associativity_surface", benchmark, REFS)
+
+
+def test_generator_throughput(benchmark, throughput_log):
     workload = SyntheticWorkload(catalog.get("VCCOM"))
 
     def run():
@@ -45,3 +108,4 @@ def test_generator_throughput(benchmark):
 
     generated = benchmark(run)
     assert len(generated) == REFS
+    _record(throughput_log, "trace_generator", benchmark, REFS)

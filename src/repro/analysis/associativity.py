@@ -7,10 +7,16 @@ those statements over the catalog: miss ratio as a function of
 associativity (direct-mapped up to fully associative) per workload and
 capacity, with conflict-miss decomposition.
 
-Unlike the LRU size sweeps, associativity changes the set mapping, so the
-one-pass stack algorithm does not apply across the sweep; each cell is a
-direct simulation (the stack pass still supplies the fully-associative
-reference column cheaply).
+Associativity changes the set mapping, so the classic capacity-sweep
+stack algorithm does not apply across the grid — but its inclusion
+property does hold *per set*: at a fixed set count, one pass computing
+per-set LRU stack distances yields the hit count at every associativity
+at once (:func:`repro.core.kernels.all_associativity_hit_counts`).  The
+study therefore costs one pass per distinct set count instead of one
+simulation per (ways, capacity) cell, is bit-identical to the per-cell
+simulations it replaced, and each workload's whole surface is one
+campaign cell — parallelized and disk-memoized by
+:func:`repro.campaign.run_campaign`.
 """
 
 from __future__ import annotations
@@ -20,11 +26,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.address import CacheGeometry
-from ..core.organization import UnifiedCache
-from ..core.simulator import simulate
-from ..core.stackdist import lru_miss_ratio_curve
-from ..workloads import catalog
+from ..campaign import run_campaign
+from ..core.jobs import AssociativitySweepJob, CampaignCell, TraceSpec
 from .tables import render_series
 
 __all__ = ["AssociativityStudy", "associativity_study", "DEFAULT_WAYS"]
@@ -106,14 +109,22 @@ def associativity_study(
     ways: Sequence[int | None] = DEFAULT_WAYS,
     capacities: Sequence[int] = (1024, 8192),
     length: int | None = None,
+    workers: int | None = None,
+    cache=None,
 ) -> AssociativityStudy:
     """Run the associativity sweep.
+
+    One campaign cell per workload; each cell computes its whole
+    (ways x capacities) surface with the one-pass all-associativity
+    kernel.  Results are identical to per-cell direct simulation.
 
     Args:
         workloads: catalog trace names (default: a class spread).
         ways: associativities to sweep (None = fully associative).
         capacities: capacities in bytes.
         length: references per trace.
+        workers / cache: forwarded to :func:`repro.campaign.run_campaign`
+            (parallelism and on-disk memoization).
 
     Returns:
         The assembled study.
@@ -121,18 +132,16 @@ def associativity_study(
     workloads = list(workloads) if workloads is not None else [
         "ZGREP", "VCCOM", "FGO1", "LISP1",
     ]
-    miss: dict[str, np.ndarray] = {}
-    for name in workloads:
-        trace = catalog.generate(name, length)
-        surface = np.empty((len(ways), len(capacities)))
-        for i, way in enumerate(ways):
-            if way is None:
-                surface[i] = lru_miss_ratio_curve(trace, list(capacities))
-            else:
-                for j, capacity in enumerate(capacities):
-                    organization = UnifiedCache(
-                        CacheGeometry(capacity, 16, associativity=way)
-                    )
-                    surface[i, j] = simulate(trace, organization).miss_ratio
-        miss[name] = surface
+    job = AssociativitySweepJob(
+        ways=tuple(ways), capacities=tuple(int(c) for c in capacities)
+    )
+    cells = [
+        CampaignCell(label=name, trace=TraceSpec.catalog(name, length), job=job)
+        for name in workloads
+    ]
+    result = run_campaign(cells, workers=workers, cache=cache)
+    miss = {
+        outcome.label: np.asarray(outcome.value, dtype=float)
+        for outcome in result.outcomes
+    }
     return AssociativityStudy(tuple(ways), tuple(capacities), miss)

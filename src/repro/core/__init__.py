@@ -17,6 +17,12 @@ from .cache import (
     FLAG_REFERENCED,
 )
 from .fetch import FetchPolicy
+from .kernels import (
+    all_associativity_hit_counts,
+    associativity_miss_surface,
+    can_replay,
+    lru_demand_replay,
+)
 from .memory import MemoryTiming, PerformanceModel, traffic_ratio
 from .multiprog import DEFAULT_QUANTUM, simulate_multiprogrammed
 from .opt import belady_min_misses, belady_miss_ratio
@@ -45,6 +51,10 @@ __all__ = [
     "FLAG_PREFETCHED",
     "FLAG_REFERENCED",
     "FetchPolicy",
+    "all_associativity_hit_counts",
+    "associativity_miss_surface",
+    "can_replay",
+    "lru_demand_replay",
     "MemoryTiming",
     "PerformanceModel",
     "traffic_ratio",

@@ -76,7 +76,11 @@ class Cache:
         self.fetch_policy = fetch_policy
         self.stats = stats if stats is not None else CacheStats(line_size=geometry.line_size)
         self.stats.line_size = geometry.line_size
+        # Int-indexed per-class counter table; valid for the stats object's
+        # lifetime because resets clear counters in place.
+        self._kind_counts = self.stats.counts_by_kind()
         make_policy = replacement or LRU
+        self._replacement_factory = make_policy
         self._sets: list[OrderedDict[int, int]] = [
             OrderedDict() for _ in range(geometry.num_sets)
         ]
@@ -169,6 +173,15 @@ class Cache:
         """Total line slots."""
         return self.geometry.num_lines
 
+    @property
+    def replacement_factory(self) -> ReplacementPolicyFactory:
+        """The factory this cache builds per-set policies from.
+
+        Exposed so the fast-path selector (:mod:`repro.core.kernels`) can
+        recognize a pure-LRU cache without probing per-set policy objects.
+        """
+        return self._replacement_factory
+
     def line_flags(self, line: int) -> int | None:
         """Flag bitmask for a resident line, or None (testing/introspection)."""
         return self._sets[line & self._set_mask].get(line)
@@ -177,7 +190,7 @@ class Cache:
 
     def _reference_line(self, kind: int, line: int, size: int) -> bool:
         stats = self.stats
-        counts = stats.counts_for(AccessKind(kind))
+        counts = self._kind_counts[kind]
         counts.references += 1
 
         is_write = kind == _WRITE

@@ -13,10 +13,12 @@ Both mechanisms need the *description* of a cell to be self-contained:
 
 A cell is a :class:`CampaignCell`: a :class:`TraceSpec` describing how to
 obtain the reference stream, plus a job describing what to do with it —
-either a :class:`SimulateJob` (one direct simulation, yielding a
-:class:`~repro.core.simulator.SimulationReport`) or a
+a :class:`SimulateJob` (one direct simulation, yielding a
+:class:`~repro.core.simulator.SimulationReport`), a
 :class:`StackSweepJob` (a one-pass LRU stack-distance sweep over several
-capacities, yielding a miss-ratio tuple).
+capacities, yielding a miss-ratio tuple), or an
+:class:`AssociativitySweepJob` (a one-pass-per-set-count sweep over a
+whole ways x capacities grid, yielding a miss-ratio surface).
 """
 
 from __future__ import annotations
@@ -33,6 +35,7 @@ from ..trace.record import AccessKind
 from ..trace.stream import Trace
 from .address import CacheGeometry
 from .fetch import FetchPolicy
+from .kernels import associativity_miss_surface
 from .organization import CacheOrganization, SplitCache, UnifiedCache
 from .replacement import policy_factory
 from .simulator import SimulationReport, simulate
@@ -43,6 +46,7 @@ __all__ = [
     "TraceSpec",
     "SimulateJob",
     "StackSweepJob",
+    "AssociativitySweepJob",
     "CampaignCell",
     "CellResult",
     "cell_key",
@@ -276,6 +280,41 @@ class StackSweepJob:
 
 
 @dataclass(frozen=True)
+class AssociativitySweepJob:
+    """A one-pass-per-set-count sweep over a (ways x capacities) grid.
+
+    Backed by :func:`repro.core.kernels.associativity_miss_surface`: grid
+    cells sharing a set count are read off one per-set stack-distance
+    pass, so the whole surface costs one pass per distinct set count
+    instead of one simulation per cell — bit-identical to the per-cell
+    simulations it replaces.
+
+    Returns the miss-ratio surface as nested tuples, rows aligned with
+    ``ways`` (``None`` = fully associative), columns with ``capacities``.
+    """
+
+    ways: tuple[int | None, ...]
+    capacities: tuple[int, ...]
+    line_size: int = 16
+
+    def run(self, trace: Trace) -> tuple[tuple[float, ...], ...]:
+        """Execute the sweep on a materialized trace."""
+        surface = associativity_miss_surface(
+            trace, self.ways, self.capacities, line_size=self.line_size
+        )
+        return tuple(tuple(float(v) for v in row) for row in surface)
+
+    def identity(self) -> dict:
+        """JSON-able identity used for cache keying."""
+        return {
+            "job": "associativity-sweep",
+            "ways": list(self.ways),
+            "capacities": list(self.capacities),
+            "line_size": self.line_size,
+        }
+
+
+@dataclass(frozen=True)
 class CampaignCell:
     """One trace x configuration cell of a campaign.
 
@@ -286,7 +325,7 @@ class CampaignCell:
 
     label: str
     trace: TraceSpec
-    job: SimulateJob | StackSweepJob
+    job: SimulateJob | StackSweepJob | AssociativitySweepJob
 
 
 @dataclass(frozen=True)
@@ -294,13 +333,13 @@ class CellResult:
     """What one executed cell produced (the cacheable part).
 
     Attributes:
-        value: the job's payload (a report or a miss-ratio tuple).
+        value: the job's payload (a report, miss-ratio tuple, or surface).
         references: references replayed (throughput denominator).
         wall_seconds: execution time inside the worker, trace build
             included (not cached — a cache hit reports 0.0).
     """
 
-    value: SimulationReport | tuple[float, ...]
+    value: SimulationReport | tuple[float, ...] | tuple[tuple[float, ...], ...]
     references: int
     wall_seconds: float
 

@@ -58,6 +58,17 @@ class CacheOrganization(abc.ABC):
     def data_stats(self) -> CacheStats:
         """Statistics for data references (their cache, if split)."""
 
+    def replay_plan(self) -> tuple[tuple[Cache, ...], tuple[int, int, int, int]] | None:
+        """Structure for the fast replay kernels, or None if opaque.
+
+        Returns ``(members, routing)``: the constituent :class:`Cache`
+        arrays and, for each ``int(AccessKind)`` 0..3, the index of the
+        member that receives references of that kind.  Organizations with
+        behaviour the kernels cannot express (e.g. sector caches) keep the
+        default ``None`` and always take the generic per-reference engine.
+        """
+        return None
+
 
 class UnifiedCache(CacheOrganization):
     """One cache for instructions and data — the paper's Table 1 design.
@@ -93,6 +104,9 @@ class UnifiedCache(CacheOrganization):
 
     def data_stats(self) -> CacheStats:
         return self.cache.stats
+
+    def replay_plan(self) -> tuple[tuple[Cache, ...], tuple[int, int, int, int]]:
+        return (self.cache,), (0, 0, 0, 0)
 
 
 class SplitCache(CacheOrganization):
@@ -163,3 +177,7 @@ class SplitCache(CacheOrganization):
 
     def data_stats(self) -> CacheStats:
         return self.dcache.stats
+
+    def replay_plan(self) -> tuple[tuple[Cache, ...], tuple[int, int, int, int]]:
+        fetch_member = 0 if self._fetch_to_icache else 1
+        return (self.icache, self.dcache), (0, 1, 1, fetch_member)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..trace.stream import Trace
+from . import kernels
 from .organization import CacheOrganization
 from .stats import CacheStats
 
@@ -61,6 +62,7 @@ def simulate(
     purge_interval: int | None = None,
     limit: int | None = None,
     warmup: int = 0,
+    engine: str = "auto",
 ) -> SimulationReport:
     """Replay ``trace`` through ``organization``.
 
@@ -78,6 +80,13 @@ def simulate(
             statistics before measuring the remainder — removing cold-start
             bias (Section 1.1's caveat about short traces).  The warmup
             prefix counts toward the purge clock but not toward the report.
+        engine: ``"auto"`` (default) takes the specialized replay kernel
+            when the organization qualifies (see
+            :func:`repro.core.kernels.can_replay`) and the generic
+            per-reference engine otherwise; ``"generic"`` forces the
+            reference engine; ``"kernel"`` requires the fast path.  Every
+            engine produces an identical report and identical final cache
+            state.
 
     Returns:
         A report with statistics *snapshots* (safe to keep after the
@@ -86,7 +95,8 @@ def simulate(
 
     Raises:
         ValueError: for a non-positive purge interval, negative limit or
-            negative warmup.
+            negative warmup, an unknown ``engine``, or ``engine="kernel"``
+            with an organization the kernel cannot express.
     """
     if purge_interval is not None and purge_interval <= 0:
         raise ValueError(f"purge_interval must be positive, got {purge_interval}")
@@ -94,11 +104,36 @@ def simulate(
         raise ValueError(f"limit must be non-negative, got {limit}")
     if warmup < 0:
         raise ValueError(f"warmup must be non-negative, got {warmup}")
+    if engine not in ("auto", "generic", "kernel"):
+        raise ValueError(f"engine must be 'auto', 'generic' or 'kernel', got {engine!r}")
+
+    if engine != "generic" and kernels.can_replay(organization):
+        measured = kernels.lru_demand_replay(
+            trace, organization, purge_interval=purge_interval, limit=limit, warmup=warmup
+        )
+        return SimulationReport(
+            trace_name=trace.metadata.name,
+            references=measured,
+            purge_interval=purge_interval,
+            overall=organization.overall_stats().snapshot(),
+            instruction=organization.instruction_stats().snapshot(),
+            data=organization.data_stats().snapshot(),
+        )
+    if engine == "kernel":
+        raise ValueError(
+            "organization does not qualify for the specialized replay kernel "
+            "(requires LRU, demand fetch, no write combining; see "
+            "repro.core.kernels.can_replay)"
+        )
 
     length = len(trace) if limit is None else min(limit, len(trace))
-    kinds = trace.kinds[:length].tolist()
-    addresses = trace.addresses[:length].tolist()
-    sizes = trace.sizes[:length].tolist()
+    # The memoized raw lists are shared across runs; slicing copies, and the
+    # full-length path below only iterates, never mutates.
+    kinds, addresses, sizes = trace.raw_lists()
+    if length != len(kinds):
+        kinds = kinds[:length]
+        addresses = addresses[:length]
+        sizes = sizes[:length]
 
     warmup = min(warmup, length)
     countdown = purge_interval if purge_interval is not None else 0

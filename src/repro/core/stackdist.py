@@ -17,7 +17,7 @@ shrinks the stream severalfold.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -42,6 +42,17 @@ class StackDistanceProfile:
     counts: np.ndarray
     cold_misses: int
     total_references: int
+    #: Lazily computed cumulative hit counts (``_cumulative[c]`` = hits in a
+    #: c-line cache).  Every campaign queries the same profile once per
+    #: capacity grid per trace, so the cumsum is done once and reused.
+    _cumulative: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    def _cumulative_hits(self) -> np.ndarray:
+        cumulative = self._cumulative
+        if cumulative is None:
+            cumulative = np.concatenate([[0], np.cumsum(self.counts[1:])])
+            object.__setattr__(self, "_cumulative", cumulative)  # frozen: memo only
+        return cumulative
 
     def hits(self, capacity_lines: int) -> int:
         """References that hit in a fully associative LRU cache of
@@ -49,7 +60,7 @@ class StackDistanceProfile:
         if capacity_lines <= 0:
             return 0
         top = min(capacity_lines, len(self.counts) - 1)
-        return int(self.counts[1 : top + 1].sum())
+        return int(self._cumulative_hits()[top])
 
     def miss_ratio(self, capacity_lines: int) -> float:
         """Miss ratio of a fully associative LRU cache of that many lines."""
@@ -61,7 +72,7 @@ class StackDistanceProfile:
         """Vector of miss ratios for several capacities (in lines)."""
         if self.total_references == 0:
             return np.zeros(len(capacities_lines))
-        cumulative = np.concatenate([[0], np.cumsum(self.counts[1:])])
+        cumulative = self._cumulative_hits()
         caps = np.clip(np.asarray(capacities_lines), 0, len(self.counts) - 1)
         return 1.0 - cumulative[caps] / self.total_references
 
@@ -94,7 +105,11 @@ def lru_stack_distances(
         interior = interior[(interior > 0) & (interior < total)]
         boundaries = [0, *np.unique(interior).tolist(), total]
 
-    all_counts = np.zeros(2, dtype=np.int64)
+    # Collect per-segment distance arrays and merge once at the end — a
+    # heavily purged stream has many segments, and growing the histogram
+    # with np.concatenate per segment was O(segments x max_distance).
+    segment_distances: list[np.ndarray] = []
+    repeat_total = 0
     cold_total = 0
     for start, stop in zip(boundaries[:-1], boundaries[1:]):
         segment = lines[start:stop]
@@ -103,18 +118,20 @@ def lru_stack_distances(
         keep[0] = True
         np.not_equal(segment[1:], segment[:-1], out=keep[1:])
         deduped = segment[keep]
-        repeat_hits = len(segment) - len(deduped)
+        repeat_total += len(segment) - len(deduped)
 
         distances, cold = _distances_fenwick(deduped)
         cold_total += cold
-        max_distance = int(distances.max()) if len(distances) else 1
-        if max_distance + 1 > len(all_counts):
-            all_counts = np.concatenate(
-                [all_counts, np.zeros(max_distance + 1 - len(all_counts), dtype=np.int64)]
-            )
         if len(distances):
-            np.add.at(all_counts, distances, 1)
-        all_counts[1] += repeat_hits
+            segment_distances.append(distances)
+
+    merged = (
+        np.concatenate(segment_distances)
+        if segment_distances
+        else np.empty(0, dtype=np.int64)
+    )
+    all_counts = np.bincount(merged, minlength=2).astype(np.int64, copy=False)
+    all_counts[1] += repeat_total
     return StackDistanceProfile(all_counts, cold_total, total)
 
 
@@ -206,22 +223,21 @@ def lru_miss_ratio_curve(
         )
     if purge_interval is not None and purge_interval <= 0:
         raise ValueError(f"purge_interval must be positive, got {purge_interval}")
+    # The compiled view memoizes the expanded (line, kind, position) arrays
+    # per line size, so repeated sweeps over one trace share the expansion.
+    compiled = trace.compiled(line_size)
     if kinds is not None:
-        mask = np.isin(trace.kinds, [int(k) for k in kinds])
-        addresses = trace.addresses[mask]
-        sizes = trace.sizes[mask]
-        positions = np.nonzero(mask)[0]
-    else:
-        addresses = trace.addresses
-        sizes = trace.sizes
+        mask = np.isin(compiled.kinds, [int(k) for k in kinds])
+        lines = compiled.lines[mask]
         # Positions are original trace indices, fixed *before* line
         # expansion so the purge clock counts trace references even when
         # line-straddling accesses expand into several line references.
-        positions = np.arange(len(trace)) if purge_interval is not None else None
-
-    lines, positions = _expand_lines(addresses, sizes, line_size, positions)
+        positions = compiled.positions[mask]
+    else:
+        lines = compiled.lines
+        positions = compiled.positions
     resets = None
-    if purge_interval is not None:
+    if purge_interval is not None and len(positions):
         # Reset before the first reference of each new purge epoch.
         epoch = positions // purge_interval
         resets = np.nonzero(np.diff(epoch) > 0)[0] + 1
@@ -229,26 +245,3 @@ def lru_miss_ratio_curve(
     return profile.miss_ratios(capacities // line_size)
 
 
-def _expand_lines(
-    addresses: np.ndarray,
-    sizes: np.ndarray,
-    line_size: int,
-    positions: np.ndarray | None = None,
-) -> tuple[np.ndarray, np.ndarray | None]:
-    """Line-number stream, expanding accesses that straddle line boundaries.
-
-    Returns the line stream and the (correspondingly expanded) original
-    trace positions of each element, when ``positions`` is given.
-    """
-    first = addresses // line_size
-    last = (addresses + sizes - 1) // line_size
-    if len(first) == 0 or (first == last).all():
-        return first, positions
-    spans = (last - first + 1).astype(np.int64)
-    starts = np.repeat(first, spans)
-    # Within-access offsets 0..span-1 via a cumulative-count trick.
-    total = int(spans.sum())
-    offsets = np.arange(total) - np.repeat(np.cumsum(spans) - spans, spans)
-    if positions is not None:
-        positions = np.repeat(positions, spans)
-    return starts + offsets, positions

@@ -183,14 +183,19 @@ class CacheStats:
 
     # -- bookkeeping ---------------------------------------------------------
 
+    def counts_by_kind(self) -> tuple[ClassCounts, ClassCounts, ClassCounts, ClassCounts]:
+        """Per-class counters indexed by ``int(AccessKind)`` (hot-path table).
+
+        The tuple stays valid for the lifetime of this object: resets zero
+        the :class:`ClassCounts` *in place* (see :meth:`clear`), so callers
+        may cache it — the cache engine and the replay kernels do, avoiding
+        an enum construction and dict lookup per reference.
+        """
+        return (self.ifetch, self.read, self.write, self.fetch)
+
     def counts_for(self, kind: AccessKind) -> ClassCounts:
         """The per-class counter for ``kind``."""
-        return {
-            AccessKind.IFETCH: self.ifetch,
-            AccessKind.READ: self.read,
-            AccessKind.WRITE: self.write,
-            AccessKind.FETCH: self.fetch,
-        }[kind]
+        return self.counts_by_kind()[kind]
 
     def merge(self, other: "CacheStats") -> None:
         """Accumulate ``other`` into this object (line sizes must agree)."""

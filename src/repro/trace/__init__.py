@@ -6,7 +6,7 @@ program address traces.
 """
 
 from .record import AccessKind, MemoryAccess
-from .stream import Trace, TraceMetadata
+from .stream import CompiledTrace, Trace, TraceMetadata
 from .io import (
     load_trace,
     read_binary_trace,
@@ -38,6 +38,7 @@ __all__ = [
     "MemoryAccess",
     "Trace",
     "TraceMetadata",
+    "CompiledTrace",
     "load_trace",
     "save_trace",
     "read_text_trace",

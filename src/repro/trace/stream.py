@@ -8,6 +8,7 @@ in :mod:`repro.trace.filters` return new traces.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field, replace
 
@@ -15,7 +16,10 @@ import numpy as np
 
 from .record import AccessKind, MemoryAccess
 
-__all__ = ["TraceMetadata", "Trace"]
+__all__ = ["TraceMetadata", "Trace", "CompiledTrace"]
+
+#: Compiled views memoized per trace (one entry per line size).
+_COMPILED_CACHE_ENTRIES = 4
 
 
 @dataclass(frozen=True, slots=True)
@@ -34,6 +38,83 @@ class TraceMetadata:
     description: str = ""
     #: Arbitrary extra key/value pairs (e.g. generator parameters).
     extra: dict = field(default_factory=dict)
+
+
+class CompiledTrace:
+    """A trace expanded to per-line references at one line size.
+
+    The simulator engine, the stack-distance sweeps and the fast kernels
+    all consume the trace as a stream of *line references*: an access that
+    straddles a line boundary becomes one element per touched line, each
+    carrying its access's kind and original trace position.  Deriving that
+    expansion is pure array work but it used to happen once per sweep
+    cell; a :class:`CompiledTrace` does it once per (trace, line size) and
+    is memoized by :meth:`Trace.compiled`.
+
+    Attributes:
+        line_size: the line size the view was expanded for.
+        lines: int64 array of memory line numbers, one per line reference.
+        kinds: int8 array of :class:`AccessKind` values, parallel to
+            ``lines`` (an access's kind repeats for every line it touches).
+        positions: int64 array of original trace indices, parallel to
+            ``lines`` — the purge clock counts *trace* references, so
+            consumers map interval boundaries through this array.
+    """
+
+    __slots__ = ("line_size", "lines", "kinds", "positions", "_lists")
+
+    def __init__(self, trace: "Trace", line_size: int) -> None:
+        if line_size <= 0 or line_size & (line_size - 1):
+            raise ValueError(
+                f"line_size must be a positive power of two, got {line_size}"
+            )
+        addresses = trace.addresses
+        sizes = trace.sizes
+        first = addresses // line_size
+        last = (addresses + sizes - 1) // line_size
+        n = len(first)
+        if n == 0 or (first == last).all():
+            lines = first
+            kinds = trace.kinds
+            positions = np.arange(n, dtype=np.int64)
+        else:
+            spans = (last - first + 1).astype(np.int64)
+            starts = np.repeat(first, spans)
+            # Within-access offsets 0..span-1 via a cumulative-count trick.
+            total = int(spans.sum())
+            offsets = np.arange(total) - np.repeat(np.cumsum(spans) - spans, spans)
+            lines = starts + offsets
+            kinds = np.repeat(trace.kinds, spans)
+            positions = np.repeat(np.arange(n, dtype=np.int64), spans)
+        for array in (lines, kinds, positions):
+            array.setflags(write=False)
+        self.line_size = line_size
+        self.lines = lines
+        self.kinds = kinds
+        self.positions = positions
+        self._lists: tuple[list[int], list[int]] | None = None
+
+    def __len__(self) -> int:
+        """Number of line references (>= the trace's access count)."""
+        return len(self.lines)
+
+    def as_lists(self) -> tuple[list[int], list[int]]:
+        """``(kinds, lines)`` as plain Python lists (memoized).
+
+        The per-reference replay kernels iterate Python ints; converting
+        the arrays once per compiled view instead of once per simulation
+        keeps repeated sweeps over the same trace cheap.
+        """
+        if self._lists is None:
+            self._lists = (self.kinds.tolist(), self.lines.tolist())
+        return self._lists
+
+    def cut(self, length: int) -> int:
+        """Number of line references belonging to the first ``length``
+        trace accesses (for ``limit`` handling)."""
+        if length >= len(self.positions):
+            return len(self.positions)
+        return int(np.searchsorted(self.positions, length, side="left"))
 
 
 class Trace(Sequence[MemoryAccess]):
@@ -55,7 +136,7 @@ class Trace(Sequence[MemoryAccess]):
             values (negative addresses, non-positive sizes, unknown kinds).
     """
 
-    __slots__ = ("_kinds", "_addresses", "_sizes", "metadata")
+    __slots__ = ("_kinds", "_addresses", "_sizes", "metadata", "_compiled", "_raw_lists")
 
     def __init__(
         self,
@@ -84,6 +165,8 @@ class Trace(Sequence[MemoryAccess]):
         self._addresses = addresses
         self._sizes = sizes
         self.metadata = metadata or TraceMetadata()
+        self._compiled: OrderedDict[int, CompiledTrace] = OrderedDict()
+        self._raw_lists: tuple[list[int], list[int], list[int]] | None = None
 
     # -- construction ------------------------------------------------------
 
@@ -135,6 +218,44 @@ class Trace(Sequence[MemoryAccess]):
     def name(self) -> str:
         """Shorthand for ``metadata.name``."""
         return self.metadata.name
+
+    # -- compiled views ------------------------------------------------------
+
+    def compiled(self, line_size: int) -> CompiledTrace:
+        """The per-line-reference view of this trace at ``line_size``.
+
+        Views are memoized on the trace (LRU-bounded to a handful of line
+        sizes), so the stack-distance sweeps, the associativity kernel and
+        the simulator all share one expansion instead of re-deriving it
+        per sweep cell.  The returned arrays are read-only.
+
+        Raises:
+            ValueError: if ``line_size`` is not a positive power of two.
+        """
+        view = self._compiled.get(line_size)
+        if view is not None:
+            self._compiled.move_to_end(line_size)
+            return view
+        view = CompiledTrace(self, line_size)
+        self._compiled[line_size] = view
+        while len(self._compiled) > _COMPILED_CACHE_ENTRIES:
+            self._compiled.popitem(last=False)
+        return view
+
+    def raw_lists(self) -> tuple[list[int], list[int], list[int]]:
+        """``(kinds, addresses, sizes)`` as plain Python lists (memoized).
+
+        The generic per-access simulation loop iterates Python ints; one
+        conversion per trace replaces one per :func:`~repro.core.simulator.simulate`
+        call when the same trace is swept across many configurations.
+        """
+        if self._raw_lists is None:
+            self._raw_lists = (
+                self._kinds.tolist(),
+                self._addresses.tolist(),
+                self._sizes.tolist(),
+            )
+        return self._raw_lists
 
     # -- sequence protocol ---------------------------------------------------
 

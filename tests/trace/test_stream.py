@@ -132,3 +132,52 @@ def test_roundtrip_through_accessors(pairs):
     rebuilt = Trace.from_accesses(list(trace))
     assert rebuilt == trace
     assert np.array_equal(rebuilt.kinds, trace.kinds)
+
+
+class TestCompiledView:
+    def test_expansion_matches_engine_semantics(self):
+        # 30-byte access at 8 straddles lines 0 and 2 of 16B: lines 0,1,2.
+        trace = make_trace([(AccessKind.READ, 8, 30), (AccessKind.IFETCH, 64, 4)])
+        compiled = trace.compiled(16)
+        assert compiled.lines.tolist() == [0, 1, 2, 4]
+        assert compiled.kinds.tolist() == [1, 1, 1, 0]
+        # Positions are original trace indices, fixed before expansion.
+        assert compiled.positions.tolist() == [0, 0, 0, 1]
+
+    def test_no_straddle_fast_path(self):
+        trace = make_trace([(AccessKind.READ, 0, 4), (AccessKind.READ, 16, 4)])
+        compiled = trace.compiled(16)
+        assert len(compiled) == 2
+        assert compiled.positions.tolist() == [0, 1]
+
+    def test_memoized_per_line_size(self):
+        trace = make_trace([(AccessKind.READ, 0, 4)])
+        assert trace.compiled(16) is trace.compiled(16)
+        assert trace.compiled(16) is not trace.compiled(32)
+
+    def test_memo_is_bounded(self):
+        trace = make_trace([(AccessKind.READ, 0, 4)])
+        first = trace.compiled(2)
+        for size in (4, 8, 16, 32):  # evicts the least recently used entry
+            trace.compiled(size)
+        assert trace.compiled(2) is not first
+
+    def test_cut_maps_reference_limit_to_expanded_length(self):
+        trace = make_trace([(AccessKind.READ, 8, 30), (AccessKind.IFETCH, 64, 4)])
+        compiled = trace.compiled(16)
+        assert compiled.cut(0) == 0
+        assert compiled.cut(1) == 3  # the straddling access expanded to 3
+        assert compiled.cut(2) == 4
+
+    def test_arrays_read_only(self):
+        compiled = make_trace([(AccessKind.READ, 8, 30)]).compiled(16)
+        with pytest.raises(ValueError):
+            compiled.lines[0] = 99
+
+    def test_raw_lists_memoized_and_consistent(self):
+        trace = make_trace([(AccessKind.READ, 0, 4), (AccessKind.WRITE, 20, 8)])
+        kinds, addresses, sizes = trace.raw_lists()
+        assert kinds is trace.raw_lists()[0]
+        assert kinds == trace.kinds.tolist()
+        assert addresses == trace.addresses.tolist()
+        assert sizes == trace.sizes.tolist()
