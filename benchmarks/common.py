@@ -19,6 +19,15 @@ study) fan out across ``REPRO_WORKERS`` processes and memoize each
 trace x configuration cell under ``benchmarks/.cache`` (overridable with
 ``REPRO_CACHE_DIR``; set ``REPRO_BENCH_CACHE=0`` to disable), so a
 repeated benchmark pass skips every already-simulated cell.
+
+Observability
+-------------
+Campaign lifecycle events (per-cell wall time, refs/s, cache status,
+failures/retries) are appended to
+``benchmarks/results/BENCH_campaign_events.jsonl`` (overridable with
+``REPRO_EVENT_LOG``; set ``REPRO_BENCH_EVENTS=0`` to disable) — see
+``docs/campaign.md`` for the schema.  CI archives the log next to
+``BENCH_core_throughput.json``.
 """
 
 from __future__ import annotations
@@ -35,6 +44,12 @@ CACHE_DIR = Path(__file__).resolve().parent / ".cache"
 
 if os.environ.get("REPRO_BENCH_CACHE") != "0":
     os.environ.setdefault("REPRO_CACHE_DIR", str(CACHE_DIR))
+
+if os.environ.get("REPRO_BENCH_EVENTS") != "0":
+    RESULTS_DIR.mkdir(exist_ok=True)
+    os.environ.setdefault(
+        "REPRO_EVENT_LOG", str(RESULTS_DIR / "BENCH_campaign_events.jsonl")
+    )
 
 
 def bench_length() -> int | None:

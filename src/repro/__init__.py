@@ -19,7 +19,15 @@ Quickstart::
     print(report.miss_ratio)
 """
 
-from .campaign import CampaignResult, CellOutcome, ResultCache, run_campaign, worker_count
+from .campaign import (
+    CampaignError,
+    CampaignResult,
+    CellOutcome,
+    EventLog,
+    ResultCache,
+    run_campaign,
+    worker_count,
+)
 from .core import (
     COPY_BACK,
     WRITE_THROUGH,
@@ -40,7 +48,7 @@ from .core import (
     simulate_multiprogrammed,
     traffic_ratio,
 )
-from .core.jobs import CampaignCell, SimulateJob, StackSweepJob, TraceSpec
+from .core.jobs import CampaignCell, CellError, SimulateJob, StackSweepJob, TraceSpec
 from .trace import (
     AccessKind,
     MemoryAccess,
@@ -57,8 +65,11 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "CampaignCell",
+    "CampaignError",
     "CampaignResult",
+    "CellError",
     "CellOutcome",
+    "EventLog",
     "ResultCache",
     "SimulateJob",
     "StackSweepJob",

@@ -139,7 +139,9 @@ def associativity_study(
         CampaignCell(label=name, trace=TraceSpec.catalog(name, length), job=job)
         for name in workloads
     ]
-    result = run_campaign(cells, workers=workers, cache=cache)
+    # Strict mode: every workload's surface is required, so a failed cell
+    # raises after its siblings are cached.
+    result = run_campaign(cells, workers=workers, cache=cache, raise_on_error=True)
     miss = {
         outcome.label: np.asarray(outcome.value, dtype=float)
         for outcome in result.outcomes

@@ -153,7 +153,10 @@ def table1_experiment(
         CampaignCell(label=name, trace=TraceSpec.catalog(name, length), job=job)
         for name in names
     ]
-    result = run_campaign(cells, workers=workers, cache=cache)
+    # Strict mode: the curves are consumed positionally, so a failed cell
+    # must raise (after every sibling has completed and been cached — a
+    # re-run then only re-executes the failure).
+    result = run_campaign(cells, workers=workers, cache=cache, raise_on_error=True)
     curves: dict[str, MissRatioCurve] = {}
     used_length = 0
     for name, outcome in zip(names, result.outcomes):

@@ -280,7 +280,9 @@ def prefetch_study(
                             ),
                         )
                     )
-    campaign = run_campaign(cells, workers=workers, cache=cache)
+    # Strict mode: reports are consumed positionally below, so a failed
+    # cell raises after its siblings are cached.
+    campaign = run_campaign(cells, workers=workers, cache=cache, raise_on_error=True)
     reports = iter(campaign.outcomes)
 
     results: dict[str, PrefetchWorkloadResult] = {}

@@ -129,7 +129,9 @@ def figures_3_and_4(
             spec = TraceSpec.catalog(label, length)
         for side, job in side_jobs.items():
             cells.append(CampaignCell(label=f"{label}:{side}", trace=spec, job=job))
-    result = run_campaign(cells, workers=workers, cache=cache)
+    # Strict mode: curves are consumed positionally (two cells per
+    # workload), so a failed cell raises after its siblings are cached.
+    result = run_campaign(cells, workers=workers, cache=cache, raise_on_error=True)
     instruction: dict[str, MissRatioCurve] = {}
     data: dict[str, MissRatioCurve] = {}
     outcome = iter(result.outcomes)

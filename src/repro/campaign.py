@@ -1,5 +1,5 @@
 """The campaign runner: parallel trace x configuration sweeps with an
-on-disk result cache.
+on-disk result cache, failure isolation, and structured observability.
 
 The paper's experiments are *campaigns* — the same simulator applied to
 dozens of traces across dozens of configurations (49 traces x 12 sizes for
@@ -21,27 +21,62 @@ is a process pool:
   benchmark or experiment skips every already-simulated cell.  The cache
   directory comes from ``REPRO_CACHE_DIR`` (or the ``cache=`` argument);
   with neither set, caching is off.
-* Every executed cell is timed; :meth:`CampaignResult.summary` reports
-  wall time and references/second per campaign, and
-  :attr:`CellOutcome.wall_seconds` per cell.
+
+A production-scale campaign must also survive its own cells.  The runner
+therefore degrades gracefully instead of failing all-or-nothing:
+
+* **Failure isolation** — an exception inside one cell becomes a failed
+  :class:`CellOutcome` (:class:`~repro.core.jobs.CellError` with type,
+  message, and traceback) on the :class:`CampaignResult`; every other
+  cell still runs and successful cells still land in the result cache,
+  so a re-run only re-executes the failures.  Pass
+  ``raise_on_error=True`` to restore strict behavior (a
+  :class:`CampaignError` after all cells have been collected).
+* **Retries** — transient failures (``OSError``, a broken process pool)
+  are retried with capped exponential backoff; ``REPRO_RETRIES`` /
+  ``retries=`` bounds the retry count, ``REPRO_RETRY_BACKOFF`` /
+  ``backoff=`` scales the delay.
+* **Timeouts** — with ``REPRO_CELL_TIMEOUT`` / ``timeout=`` set, a cell
+  whose worker runs longer than the limit is recorded as a failed
+  outcome (error type ``TimeoutError``) instead of hanging the campaign;
+  the stuck workers are terminated and the remaining cells finish
+  serially.  (Timeouts are enforced in pool mode only — a serial
+  in-process cell cannot be preempted.)
+* **Broken pools** — if the process pool dies (a worker was OOM-killed,
+  for example), the cells still pending are re-run serially in the main
+  process rather than crashing the campaign.
+* **Observability** — results are collected as they complete, so the
+  ``progress`` callback genuinely streams (still in submission order),
+  and every lifecycle step can be appended to a JSONL event log
+  (:class:`EventLog`, ``events=`` / ``REPRO_EVENT_LOG``):
+  ``campaign_started``, ``cell_finished``, ``cell_retried``,
+  ``cell_failed``, ``campaign_finished``.
+
+Every executed cell is timed; :meth:`CampaignResult.summary` reports wall
+time, references/second, and failure/retry counts per campaign, and
+:attr:`CellOutcome.wall_seconds` per cell.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import tempfile
 import time
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from pathlib import Path
 
-from .core.jobs import CampaignCell, CellResult, cell_key, run_cell
+from .core.jobs import CampaignCell, CellError, CellResult, cell_key, run_cell
 
 __all__ = [
     "CellOutcome",
+    "CampaignError",
     "CampaignResult",
+    "EventLog",
     "ResultCache",
     "run_campaign",
     "worker_count",
@@ -51,6 +86,29 @@ __all__ = [
 WORKERS_ENV = "REPRO_WORKERS"
 #: Environment variable naming the default result-cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Environment variable bounding transient-failure retries per cell.
+RETRIES_ENV = "REPRO_RETRIES"
+#: Environment variable scaling the retry backoff (seconds; 0 disables).
+BACKOFF_ENV = "REPRO_RETRY_BACKOFF"
+#: Environment variable setting the per-cell timeout (seconds; unset = none).
+CELL_TIMEOUT_ENV = "REPRO_CELL_TIMEOUT"
+#: Environment variable naming the default JSONL event-log path.
+EVENT_LOG_ENV = "REPRO_EVENT_LOG"
+
+#: Default transient-failure retries per cell.
+DEFAULT_RETRIES = 2
+#: Default backoff base in seconds (attempt n sleeps ``base * 2**(n-1)``).
+DEFAULT_BACKOFF = 0.1
+#: Ceiling on a single backoff sleep, seconds.
+BACKOFF_CAP = 5.0
+
+#: Exception types treated as transient (worth retrying).  ``OSError``
+#: covers the resource-exhaustion family (EMFILE, ENOMEM, flaky NFS);
+#: :class:`BrokenProcessPool` is the pool itself dying under a cell.
+TRANSIENT_EXCEPTIONS = (OSError, BrokenProcessPool)
+
+#: Poll granularity of the pool-mode timeout watchdog, seconds.
+_WATCHDOG_TICK = 0.05
 
 _MISS = object()
 
@@ -73,6 +131,26 @@ def worker_count(workers: int | None = None) -> int:
         else:
             workers = os.cpu_count() or 1
     return max(1, workers)
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    if not value:
+        return default
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {value!r}") from None
+
+
+def _env_float(name: str, default: float | None) -> float | None:
+    value = os.environ.get(name)
+    if not value:
+        return default
+    try:
+        return float(value)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {value!r}") from None
 
 
 class ResultCache:
@@ -124,17 +202,63 @@ class ResultCache:
         return sum(1 for _ in self.directory.glob("*/*.pkl"))
 
 
+class EventLog:
+    """Append-only JSONL log of campaign lifecycle events.
+
+    Each line is one JSON object with at least ``event`` (the event name)
+    and ``time`` (epoch seconds).  Lines are flushed as they are written,
+    so a tail of the file is a live view of the campaign.  See
+    ``docs/campaign.md`` for the event schema.
+    """
+
+    def __init__(self, target: str | Path | object) -> None:
+        if hasattr(target, "write"):
+            self._handle = target
+            self._owns_handle = False
+        else:
+            path = Path(target)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = path.open("a", encoding="utf-8")
+            self._owns_handle = True
+
+    def emit(self, event: str, **fields) -> None:
+        """Append one event line (best-effort: I/O errors are swallowed)."""
+        record = {"event": event, "time": time.time(), **fields}
+        try:
+            self._handle.write(json.dumps(record, sort_keys=False) + "\n")
+            self._handle.flush()
+        except Exception:
+            pass  # observability must never take the campaign down
+
+    def close(self) -> None:
+        """Close the underlying file if this log opened it."""
+        if self._owns_handle:
+            try:
+                self._handle.close()
+            except Exception:
+                pass
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 @dataclass(frozen=True)
 class CellOutcome:
     """One campaign cell plus everything its execution produced.
 
     Attributes:
         cell: the cell specification.
-        value: the job payload (report or miss-ratio tuple).
-        references: references replayed by the cell.
+        value: the job payload (report or miss-ratio tuple); ``None`` for
+            a failed cell.
+        references: references replayed by the cell (0 for a failure).
         wall_seconds: execution wall time (0.0 for a cache hit).
         cached: True iff the result came from the on-disk cache.
         key: the cell's content-hash cache key.
+        error: why the cell failed, or ``None`` on success.
+        attempts: execution attempts made (1 = first try succeeded).
     """
 
     cell: CampaignCell
@@ -143,11 +267,38 @@ class CellOutcome:
     wall_seconds: float
     cached: bool
     key: str
+    error: CellError | None = None
+    attempts: int = 1
 
     @property
     def label(self) -> str:
         """The cell's display label."""
         return self.cell.label
+
+    @property
+    def ok(self) -> bool:
+        """True iff the cell produced a value (cached or simulated)."""
+        return self.error is None
+
+
+class CampaignError(RuntimeError):
+    """Raised by ``run_campaign(..., raise_on_error=True)`` after cells fail.
+
+    Raised only once every cell has been collected, so the partial
+    :attr:`result` (with its cached successes) is still available.
+    """
+
+    def __init__(self, result: "CampaignResult") -> None:
+        failures = result.failures()
+        preview = "; ".join(
+            f"{o.label}: {o.error}" for o in failures[:3]
+        )
+        if len(failures) > 3:
+            preview += f"; ... ({len(failures) - 3} more)"
+        super().__init__(
+            f"{len(failures)} of {result.cells} campaign cell(s) failed: {preview}"
+        )
+        self.result = result
 
 
 @dataclass(frozen=True)
@@ -159,7 +310,7 @@ class CampaignResult:
     workers: int
 
     def values(self) -> list:
-        """The job payloads, in submission order."""
+        """The job payloads, in submission order (``None`` for failures)."""
         return [outcome.value for outcome in self.outcomes]
 
     def by_label(self) -> dict[str, list[CellOutcome]]:
@@ -168,6 +319,18 @@ class CampaignResult:
         for outcome in self.outcomes:
             grouped.setdefault(outcome.label, []).append(outcome)
         return grouped
+
+    def failures(self) -> tuple[CellOutcome, ...]:
+        """The failed outcomes, in submission order."""
+        return tuple(o for o in self.outcomes if o.error is not None)
+
+    def errors(self) -> dict[str, CellError]:
+        """Errors keyed by cell label (first failure wins per label)."""
+        out: dict[str, CellError] = {}
+        for outcome in self.outcomes:
+            if outcome.error is not None:
+                out.setdefault(outcome.label, outcome.error)
+        return out
 
     @property
     def cells(self) -> int:
@@ -180,9 +343,19 @@ class CampaignResult:
         return sum(1 for outcome in self.outcomes if outcome.cached)
 
     @property
+    def failed_cells(self) -> int:
+        """Cells that ended in a failure."""
+        return sum(1 for outcome in self.outcomes if outcome.error is not None)
+
+    @property
+    def retried_cells(self) -> int:
+        """Cells that needed more than one attempt (succeeded or not)."""
+        return sum(1 for outcome in self.outcomes if outcome.attempts > 1)
+
+    @property
     def simulated_cells(self) -> int:
-        """Cells actually executed this run."""
-        return self.cells - self.cached_cells
+        """Cells actually executed (successfully) this run."""
+        return self.cells - self.cached_cells - self.failed_cells
 
     @property
     def simulated_references(self) -> int:
@@ -202,22 +375,33 @@ class CampaignResult:
 
     def summary(self) -> str:
         """Human-readable per-campaign accounting."""
+        counts = (
+            f"({self.cached_cells} cached, {self.simulated_cells} simulated"
+            + (f", {self.failed_cells} failed" if self.failed_cells else "")
+            + ")"
+        )
         lines = [
-            f"campaign: {self.cells} cells "
-            f"({self.cached_cells} cached, {self.simulated_cells} simulated) "
+            f"campaign: {self.cells} cells {counts} "
             f"in {self.wall_seconds:.2f}s on {self.workers} worker(s)"
         ]
+        if self.retried_cells:
+            lines.append(f"  retried {self.retried_cells} cell(s)")
         if self.simulated_cells:
             lines.append(
                 f"  replayed {self.simulated_references:,} references "
                 f"at {self.references_per_second:,.0f} refs/s"
             )
             slowest = max(
-                (o for o in self.outcomes if not o.cached),
+                (o for o in self.outcomes if not o.cached and o.error is None),
                 key=lambda o: o.wall_seconds,
             )
             lines.append(
                 f"  slowest cell: {slowest.label} ({slowest.wall_seconds:.2f}s)"
+            )
+        for outcome in self.failures():
+            lines.append(
+                f"  FAILED {outcome.label}: {outcome.error} "
+                f"(after {outcome.attempts} attempt(s))"
             )
         return "\n".join(lines)
 
@@ -226,6 +410,14 @@ def _resolve_cache(cache) -> ResultCache | None:
     """Interpret the ``cache`` argument of :func:`run_campaign`."""
     if cache is False:
         return None
+    if cache is True:
+        directory = os.environ.get(CACHE_DIR_ENV)
+        if not directory:
+            raise ValueError(
+                f"run_campaign(cache=True) requires {CACHE_DIR_ENV} to name "
+                "a cache directory (or pass the directory itself as cache=)"
+            )
+        return ResultCache(directory)
     if isinstance(cache, ResultCache):
         return cache
     if cache is None:
@@ -234,83 +426,430 @@ def _resolve_cache(cache) -> ResultCache | None:
     return ResultCache(cache)
 
 
+def _resolve_events(events) -> tuple[EventLog | None, bool]:
+    """Interpret ``events=``: the log (or None) and whether we own it."""
+    if events is None:
+        path = os.environ.get(EVENT_LOG_ENV)
+        return (EventLog(path), True) if path else (None, False)
+    if isinstance(events, EventLog):
+        return events, False
+    return EventLog(events), True
+
+
+def _is_transient(exc: BaseException) -> bool:
+    """Whether a cell failure is worth retrying."""
+    return isinstance(exc, TRANSIENT_EXCEPTIONS)
+
+
+@dataclass
+class _Flight:
+    """Book-keeping for one pending cell (queued, in a pool, or retrying)."""
+
+    index: int
+    cell: CampaignCell
+    key: str
+    attempts: int = 0
+    running_since: float | None = field(default=None, repr=False)
+
+
+class _Recorder:
+    """Shared completion path: outcome slot, cache write, events, progress.
+
+    Progress streams in submission order: the callback fires for outcome
+    *i* as soon as outcomes ``0..i`` are all known, which with
+    as-completed collection means long before the campaign ends.
+    Callback exceptions are swallowed so a broken progress bar can never
+    corrupt the merge.
+    """
+
+    def __init__(
+        self,
+        outcomes: list[CellOutcome | None],
+        store: ResultCache | None,
+        log: EventLog | None,
+        progress: Callable[[CellOutcome], None] | None,
+    ) -> None:
+        self._outcomes = outcomes
+        self._store = store
+        self._log = log
+        self._progress = progress
+        self._next_emit = 0
+
+    def _advance(self) -> None:
+        while (
+            self._next_emit < len(self._outcomes)
+            and self._outcomes[self._next_emit] is not None
+        ):
+            outcome = self._outcomes[self._next_emit]
+            self._next_emit += 1
+            if self._progress is not None:
+                try:
+                    self._progress(outcome)
+                except Exception:
+                    pass  # a broken callback must not corrupt the merge
+
+    def cached(self, flight: _Flight, hit: CellResult) -> None:
+        self._outcomes[flight.index] = CellOutcome(
+            cell=flight.cell,
+            value=hit.value,
+            references=hit.references,
+            wall_seconds=0.0,
+            cached=True,
+            key=flight.key,
+        )
+        if self._log is not None:
+            self._log.emit(
+                "cell_finished",
+                label=flight.cell.label,
+                index=flight.index,
+                key=flight.key,
+                cached=True,
+                wall_seconds=0.0,
+                references=hit.references,
+                refs_per_second=0.0,
+                attempts=0,
+            )
+        self._advance()
+
+    def success(self, flight: _Flight, result: CellResult) -> None:
+        self._outcomes[flight.index] = CellOutcome(
+            cell=flight.cell,
+            value=result.value,
+            references=result.references,
+            wall_seconds=result.wall_seconds,
+            cached=False,
+            key=flight.key,
+            attempts=max(1, flight.attempts),
+        )
+        if self._store is not None:
+            self._store.put(flight.key, result)
+        if self._log is not None:
+            self._log.emit(
+                "cell_finished",
+                label=flight.cell.label,
+                index=flight.index,
+                key=flight.key,
+                cached=False,
+                wall_seconds=result.wall_seconds,
+                references=result.references,
+                refs_per_second=(
+                    result.references / result.wall_seconds
+                    if result.wall_seconds > 0
+                    else 0.0
+                ),
+                attempts=max(1, flight.attempts),
+            )
+        self._advance()
+
+    def failure(self, flight: _Flight, error: CellError) -> None:
+        self._outcomes[flight.index] = CellOutcome(
+            cell=flight.cell,
+            value=None,
+            references=0,
+            wall_seconds=0.0,
+            cached=False,
+            key=flight.key,
+            error=error,
+            attempts=max(1, flight.attempts),
+        )
+        if self._log is not None:
+            self._log.emit(
+                "cell_failed",
+                label=flight.cell.label,
+                index=flight.index,
+                key=flight.key,
+                error=error.type,
+                message=error.message,
+                attempts=max(1, flight.attempts),
+            )
+        self._advance()
+
+    def retried(self, flight: _Flight, exc: BaseException, backoff: float) -> None:
+        if self._log is not None:
+            self._log.emit(
+                "cell_retried",
+                label=flight.cell.label,
+                index=flight.index,
+                key=flight.key,
+                error=type(exc).__name__,
+                message=str(exc),
+                attempt=flight.attempts,
+                backoff_seconds=backoff,
+            )
+
+
+def _backoff_seconds(backoff: float, attempts: int) -> float:
+    """Capped exponential backoff before retry number ``attempts``."""
+    if backoff <= 0:
+        return 0.0
+    return min(BACKOFF_CAP, backoff * (2 ** (attempts - 1)))
+
+
+def _run_serial(
+    flights: list[_Flight],
+    runner: Callable[[CampaignCell], CellResult],
+    recorder: _Recorder,
+    retries: int,
+    backoff: float,
+) -> None:
+    """In-process execution with retry-on-transient-failure semantics."""
+    for flight in flights:
+        while True:
+            flight.attempts += 1
+            try:
+                result = runner(flight.cell)
+            except Exception as exc:
+                if _is_transient(exc) and flight.attempts <= retries:
+                    pause = _backoff_seconds(backoff, flight.attempts)
+                    recorder.retried(flight, exc, pause)
+                    if pause:
+                        time.sleep(pause)
+                    continue
+                recorder.failure(flight, CellError.from_exception(exc))
+                break
+            else:
+                recorder.success(flight, result)
+                break
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Forcibly stop a pool whose workers may be hung."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _run_pool(
+    pool: ProcessPoolExecutor,
+    flights: list[_Flight],
+    runner: Callable[[CampaignCell], CellResult],
+    recorder: _Recorder,
+    retries: int,
+    backoff: float,
+    timeout: float | None,
+    log: EventLog | None,
+) -> list[_Flight]:
+    """Collect pool futures as they complete.
+
+    Returns the flights that still need execution (serial fallback) after
+    a broken pool or a timeout kill; empty on a clean run.
+    """
+    in_flight: dict = {}
+    for flight in flights:
+        flight.attempts += 1
+        in_flight[pool.submit(runner, flight.cell)] = flight
+
+    broken = False
+    while in_flight:
+        tick = _WATCHDOG_TICK if timeout is not None else None
+        done, not_done = wait(
+            set(in_flight), timeout=tick, return_when=FIRST_COMPLETED
+        )
+        for future in done:
+            flight = in_flight.pop(future)
+            try:
+                result = future.result()
+            except BrokenProcessPool as exc:
+                # The pool died under this cell: everything unfinished
+                # (this cell included) falls back to serial execution.
+                if log is not None and not broken:
+                    log.emit(
+                        "pool_broken",
+                        message=str(exc) or type(exc).__name__,
+                        pending=len(in_flight) + 1,
+                    )
+                broken = True
+                fallback = [flight] + list(in_flight.values())
+                in_flight.clear()
+                return sorted(fallback, key=lambda f: f.index)
+            except Exception as exc:
+                if _is_transient(exc) and flight.attempts <= retries:
+                    pause = _backoff_seconds(backoff, flight.attempts)
+                    recorder.retried(flight, exc, pause)
+                    if pause:
+                        time.sleep(pause)
+                    flight.attempts += 1
+                    try:
+                        in_flight[pool.submit(runner, flight.cell)] = flight
+                    except Exception:
+                        # submit() on a dying pool: run it serially instead.
+                        flight.attempts -= 1
+                        return sorted(
+                            [flight] + list(in_flight.values()),
+                            key=lambda f: f.index,
+                        )
+                else:
+                    recorder.failure(flight, CellError.from_exception(exc))
+            else:
+                recorder.success(flight, result)
+
+        if timeout is not None and in_flight:
+            now = time.perf_counter()
+            hung = []
+            for future, flight in in_flight.items():
+                if future.running():
+                    if flight.running_since is None:
+                        flight.running_since = now
+                    elif now - flight.running_since > timeout:
+                        hung.append(future)
+            if hung:
+                for future in hung:
+                    flight = in_flight.pop(future)
+                    recorder.failure(
+                        flight,
+                        CellError(
+                            type="TimeoutError",
+                            message=(
+                                f"cell exceeded the {timeout:g}s per-cell "
+                                f"timeout ({CELL_TIMEOUT_ENV})"
+                            ),
+                            traceback="",
+                        ),
+                    )
+                if log is not None:
+                    log.emit(
+                        "pool_terminated",
+                        reason="cell_timeout",
+                        timed_out=len(hung),
+                        pending=len(in_flight),
+                    )
+                # The hung workers cannot be recovered individually;
+                # terminate the pool and finish the rest serially.
+                _terminate_pool(pool)
+                return sorted(in_flight.values(), key=lambda f: f.index)
+    return []
+
+
 def run_campaign(
     cells: Iterable[CampaignCell] | Sequence[CampaignCell],
     workers: int | None = None,
     cache: ResultCache | str | Path | bool | None = None,
     progress: Callable[[CellOutcome], None] | None = None,
+    *,
+    raise_on_error: bool = False,
+    retries: int | None = None,
+    backoff: float | None = None,
+    timeout: float | None = None,
+    events: EventLog | str | Path | None = None,
+    runner: Callable[[CampaignCell], CellResult] = run_cell,
 ) -> CampaignResult:
     """Execute a campaign: every cell, in parallel, memoized on disk.
+
+    A failing cell does **not** abort the campaign: it is recorded as a
+    failed :class:`CellOutcome` (see :attr:`CellOutcome.error`) while its
+    siblings complete and are cached, so a re-run only re-executes the
+    failures.
 
     Args:
         cells: the trace x configuration cells to run.
         workers: process count; defaults to ``REPRO_WORKERS`` or
             ``os.cpu_count()``.  1 means serial in-process execution.
         cache: result cache — a :class:`ResultCache`, a directory path,
-            ``False`` to disable, or ``None`` to use ``REPRO_CACHE_DIR``
-            (no caching if unset).
+            ``True`` to require ``REPRO_CACHE_DIR`` (``ValueError`` if
+            unset), ``False`` to disable, or ``None`` to use
+            ``REPRO_CACHE_DIR`` (no caching if unset).
         progress: optional callback invoked once per cell, in submission
-            order, as its outcome becomes available.
+            order, streamed as each outcome becomes available (failed
+            outcomes included).  Exceptions raised by the callback are
+            swallowed.
+        raise_on_error: raise :class:`CampaignError` after collection if
+            any cell failed (successes are still cached first).
+        retries: transient-failure retries per cell; defaults to
+            ``REPRO_RETRIES`` or :data:`DEFAULT_RETRIES`.
+        backoff: base backoff seconds between retries (capped exponential);
+            defaults to ``REPRO_RETRY_BACKOFF`` or :data:`DEFAULT_BACKOFF`.
+        timeout: per-cell wall-time limit in seconds, enforced in pool
+            mode; defaults to ``REPRO_CELL_TIMEOUT`` (unset = no limit).
+        events: JSONL event log — an :class:`EventLog`, a path, or
+            ``None`` to use ``REPRO_EVENT_LOG`` (no log if unset).
+        runner: the per-cell execution function (the fault-injection seam
+            used by the tests; must be picklable for pool execution).
 
     Returns:
         A :class:`CampaignResult` whose outcomes are in submission order —
         deterministic and bit-identical across worker counts.
+
+    Raises:
+        CampaignError: with ``raise_on_error=True``, after all cells have
+            been collected, if at least one failed.
     """
     cells = list(cells)
     count = worker_count(workers)
     store = _resolve_cache(cache)
+    retries = _env_int(RETRIES_ENV, DEFAULT_RETRIES) if retries is None else retries
+    backoff = _env_float(BACKOFF_ENV, DEFAULT_BACKOFF) if backoff is None else backoff
+    timeout = _env_float(CELL_TIMEOUT_ENV, None) if timeout is None else timeout
+    log, owns_log = _resolve_events(events)
     started = time.perf_counter()
 
     outcomes: list[CellOutcome | None] = [None] * len(cells)
-    pending: list[tuple[int, CampaignCell, str]] = []
+    recorder = _Recorder(outcomes, store, log, progress)
+    pending: list[_Flight] = []
+    cached_hits: list[tuple[_Flight, CellResult]] = []
     for index, cell in enumerate(cells):
         key = cell_key(cell)
         hit = store.get(key) if store is not None else _MISS
+        flight = _Flight(index=index, cell=cell, key=key)
         if hit is not _MISS and isinstance(hit, CellResult):
-            outcomes[index] = CellOutcome(
-                cell=cell,
-                value=hit.value,
-                references=hit.references,
-                wall_seconds=0.0,
-                cached=True,
-                key=key,
+            cached_hits.append((flight, hit))
+        else:
+            pending.append(flight)
+
+    try:
+        if log is not None:
+            log.emit(
+                "campaign_started",
+                cells=len(cells),
+                cached=len(cached_hits),
+                pending=len(pending),
+                workers=count,
+                retries=retries,
+                timeout=timeout,
             )
-        else:
-            pending.append((index, cell, key))
+        for flight, hit in cached_hits:
+            recorder.cached(flight, hit)
 
-    def record(index: int, cell: CampaignCell, key: str, result: CellResult) -> None:
-        outcomes[index] = CellOutcome(
-            cell=cell,
-            value=result.value,
-            references=result.references,
-            wall_seconds=result.wall_seconds,
-            cached=False,
-            key=key,
+        if pending:
+            if count == 1 or len(pending) == 1:
+                _run_serial(pending, runner, recorder, retries, backoff)
+            else:
+                with ProcessPoolExecutor(
+                    max_workers=min(count, len(pending))
+                ) as pool:
+                    leftover = _run_pool(
+                        pool, pending, runner, recorder,
+                        retries, backoff, timeout, log,
+                    )
+                if leftover:
+                    if log is not None:
+                        log.emit("serial_fallback", cells=len(leftover))
+                    _run_serial(leftover, runner, recorder, retries, backoff)
+
+        result = CampaignResult(
+            outcomes=tuple(o for o in outcomes if o is not None),
+            wall_seconds=time.perf_counter() - started,
+            workers=count,
         )
-        if store is not None:
-            store.put(key, result)
+        if log is not None:
+            log.emit(
+                "campaign_finished",
+                cells=result.cells,
+                cached=result.cached_cells,
+                simulated=result.simulated_cells,
+                failed=result.failed_cells,
+                retried=result.retried_cells,
+                wall_seconds=result.wall_seconds,
+                references=result.simulated_references,
+                refs_per_second=result.references_per_second,
+            )
+    finally:
+        if owns_log and log is not None:
+            log.close()
 
-    if pending:
-        if count == 1 or len(pending) == 1:
-            for index, cell, key in pending:
-                record(index, cell, key, run_cell(cell))
-        else:
-            with ProcessPoolExecutor(max_workers=min(count, len(pending))) as pool:
-                futures = [
-                    (index, cell, key, pool.submit(run_cell, cell))
-                    for index, cell, key in pending
-                ]
-                # Collect in submission order: merging is deterministic no
-                # matter which worker finishes first.
-                for index, cell, key, future in futures:
-                    record(index, cell, key, future.result())
-
-    finished = [outcome for outcome in outcomes if outcome is not None]
-    if progress is not None:
-        for outcome in finished:
-            progress(outcome)
-    return CampaignResult(
-        outcomes=tuple(finished),
-        wall_seconds=time.perf_counter() - started,
-        workers=count,
-    )
+    if raise_on_error and result.failed_cells:
+        raise CampaignError(result)
+    return result

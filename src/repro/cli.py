@@ -118,6 +118,17 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="result-cache directory (default: REPRO_CACHE_DIR)")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the on-disk result cache")
+    p.add_argument("--events", default=None, metavar="PATH",
+                   help="append JSONL lifecycle events to PATH "
+                   "(default: REPRO_EVENT_LOG)")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="stream a per-cell progress line to stderr")
+    p.add_argument("--retries", type=int, default=None,
+                   help="transient-failure retries per cell "
+                   "(default: REPRO_RETRIES or 2)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-cell wall-time limit, pool mode only "
+                   "(default: REPRO_CELL_TIMEOUT or none)")
     _add_length(p)
 
     p = sub.add_parser("simulate", help="simulate one trace / cache configuration")
@@ -238,7 +249,7 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
     print(f"dirty data pushes: {stats.dirty_data_push_fraction:.3f} of {stats.data_pushes}")
 
 
-def _cmd_campaign(args: argparse.Namespace) -> None:
+def _cmd_campaign(args: argparse.Namespace) -> int:
     from .campaign import run_campaign
     from .core.jobs import CampaignCell, SimulateJob, StackSweepJob, TraceSpec
 
@@ -280,22 +291,51 @@ def _cmd_campaign(args: argparse.Namespace) -> None:
                 )
 
     cache = False if args.no_cache else (args.cache_dir or None)
-    result = run_campaign(cells, workers=args.workers, cache=cache)
 
+    progress = None
+    if args.verbose:
+        total = len(cells)
+        done = iter(range(1, total + 1))
+
+        def progress(outcome):
+            if outcome.error is not None:
+                status = f"FAILED ({outcome.error})"
+            elif outcome.cached:
+                status = "cached"
+            else:
+                status = f"{outcome.wall_seconds:.2f}s"
+            print(f"[{next(done)}/{total}] {outcome.label}: {status}",
+                  file=sys.stderr, flush=True)
+
+    result = run_campaign(
+        cells, workers=args.workers, cache=cache, progress=progress,
+        retries=args.retries, timeout=args.timeout, events=args.events,
+    )
+
+    # Failed cells render as NaN so partial campaigns still tabulate.
     series: dict[str, list[float]] = {}
     if args.stack:
         for outcome in result.outcomes:
-            series[outcome.label] = list(outcome.value)
+            series[outcome.label] = (
+                list(outcome.value) if outcome.ok else [float("nan")] * len(sizes)
+            )
     else:
         for outcome in result.outcomes:
             name = outcome.label.rsplit("/", 1)[0]
-            series.setdefault(name, []).append(outcome.value.miss_ratio)
+            series.setdefault(name, []).append(
+                outcome.value.miss_ratio if outcome.ok else float("nan")
+            )
     print(analysis.render_series(
         "trace \\ bytes", sizes, series,
         title=f"Campaign miss ratios ({'stack sweep' if args.stack else 'simulation'})",
     ))
     print()
     print(result.summary())
+    if result.failed_cells:
+        print(f"{result.failed_cells} cell(s) failed; re-run to retry just "
+              "the failures (successes are cached)", file=sys.stderr)
+        return 1
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -326,7 +366,7 @@ def main(argv: list[str] | None = None) -> int:
     elif command == "simulate":
         _cmd_simulate(args)
     elif command == "campaign":
-        _cmd_campaign(args)
+        return _cmd_campaign(args)
     elif command == "table1":
         result = analysis.table1_experiment(sizes=args.sizes or analysis.PAPER_CACHE_SIZES,
                                             length=args.length)

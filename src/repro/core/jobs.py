@@ -27,6 +27,7 @@ import functools
 import hashlib
 import json
 import time
+import traceback as traceback_module
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -48,6 +49,7 @@ __all__ = [
     "StackSweepJob",
     "AssociativitySweepJob",
     "CampaignCell",
+    "CellError",
     "CellResult",
     "cell_key",
     "run_cell",
@@ -342,6 +344,36 @@ class CellResult:
     value: SimulationReport | tuple[float, ...] | tuple[tuple[float, ...], ...]
     references: int
     wall_seconds: float
+
+
+@dataclass(frozen=True)
+class CellError:
+    """Why one campaign cell failed (picklable, human-inspectable).
+
+    Attributes:
+        type: the exception class name (e.g. ``"ValueError"``).
+        message: ``str(exception)``.
+        traceback: the formatted traceback, as a string — exception objects
+            themselves are not reliably picklable across processes.
+    """
+
+    type: str
+    message: str
+    traceback: str
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "CellError":
+        """Capture an exception as a plain-data record."""
+        return cls(
+            type=type(exc).__name__,
+            message=str(exc),
+            traceback="".join(
+                traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.type}: {self.message}"
 
 
 def cell_key(cell: CampaignCell) -> str:

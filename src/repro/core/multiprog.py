@@ -43,8 +43,15 @@ def simulate_multiprogrammed(
     Returns:
         The simulation report for the mixed stream.
     """
-    if len(traces) == 1:
+    if len(traces) == 1 and (length is None or length <= len(traces[0])):
+        # Uniprogrammed run: the raw trace (truncated if asked), with the
+        # purge clock still ticking every quantum.
         mixed = traces[0] if length is None else traces[0][:length]
     else:
+        # Multi-trace mixes — and a single trace asked to run *longer*
+        # than it is — share the restart semantics of the round-robin
+        # interleave: an exhausted program resumes from its beginning, so
+        # ``length`` references are always simulated (the paper's runs
+        # were bounded by total references, not by trace end).
         mixed = interleave_round_robin(traces, quantum=quantum, length=length)
     return simulate(mixed, make_organization(), purge_interval=quantum)

@@ -87,3 +87,25 @@ class TestMultiprogrammed:
             [a, a], lambda: UnifiedCache(CacheGeometry(256, 16)), quantum=4, length=10
         )
         assert report.references == 10
+
+    def test_single_trace_truncates_when_shorter(self, tiny_trace):
+        report = simulate_multiprogrammed(
+            [tiny_trace], lambda: UnifiedCache(CacheGeometry(64, 16)),
+            quantum=3, length=5,
+        )
+        assert report.references == 5
+
+    def test_single_trace_restarts_to_reach_length(self):
+        # A single trace asked for more references than it has must wrap
+        # around like an exhausted member of a multi-trace mix, not
+        # silently truncate at the trace end.
+        a = make_trace([(_R, i * 16) for i in range(6)], name="A")
+        report = simulate_multiprogrammed(
+            [a], lambda: UnifiedCache(CacheGeometry(256, 16)), quantum=4, length=14
+        )
+        assert report.references == 14
+        # Same length via the two-member path: identical restart semantics.
+        doubled = simulate_multiprogrammed(
+            [a, a], lambda: UnifiedCache(CacheGeometry(256, 16)), quantum=4, length=14
+        )
+        assert doubled.references == 14

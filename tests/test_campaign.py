@@ -170,6 +170,19 @@ class TestRunCampaign:
         )
         assert renamed.cached_cells == 1
 
+    def test_cache_true_uses_environment_directory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        cells = small_cells()[:2]
+        first = run_campaign(cells, workers=1, cache=True)
+        again = run_campaign(cells, workers=1, cache=True)
+        assert first.cached_cells == 0
+        assert again.cached_cells == 2
+
+    def test_cache_true_without_environment_is_a_clear_error(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        with pytest.raises(ValueError, match=CACHE_DIR_ENV):
+            run_campaign(small_cells()[:1], workers=1, cache=True)
+
     def test_cache_dir_from_environment(self, tmp_path, monkeypatch):
         monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
         cells = small_cells()[:2]
