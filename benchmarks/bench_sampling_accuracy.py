@@ -1,0 +1,117 @@
+"""Sampled-simulation benchmark: speedup and honesty of the error bars.
+
+Runs the Table-1-style LRU capacity sweep both exactly and under an
+interval-sampling plan measuring ~10% of each trace, on pre-built,
+pre-compiled traces so the comparison is engine time, not trace
+generation.  Asserts the two properties the sampling subsystem promises:
+
+* **Speedup** — the sampled sweep must run at least 3x faster than the
+  full sweep over the same traces.
+* **Coverage** — every full-run miss ratio must fall inside the sampled
+  run's *reported* 95% confidence interval (all seeds here are pinned,
+  so this is a deterministic regression check, not a coin flip).
+
+A machine-readable summary — wall times, speedup, and per-cell observed
+vs reported error — is written to
+``benchmarks/results/BENCH_sampling_accuracy.json`` so CI can archive
+and diff it.  ``REPRO_BENCH_LENGTH`` scales the trace length.
+"""
+
+import json
+import time
+
+import pytest
+
+from common import RESULTS_DIR, bench_length
+
+from repro.analysis.sweep import PAPER_LINE_SIZE
+from repro.core.jobs import StackSweepJob
+from repro.sampling import IntervalSampling, run_sampled
+from repro.workloads import catalog
+
+LENGTH = bench_length() or 250_000
+WORKLOADS = ("ZGREP", "VCCOM", "FGO1", "LISP1")
+SIZES = (1024, 4096, 16384)
+
+JOB = StackSweepJob(sizes=SIZES, line_size=PAPER_LINE_SIZE)
+PLAN = IntervalSampling(fraction=0.1, window=500, warmup="discard", seed=0)
+
+#: Timing repetitions; the minimum is reported (standard practice for
+#: wall-clock comparisons on shared machines).
+ROUNDS = 3
+
+
+@pytest.fixture(scope="module")
+def traces():
+    """Pre-built and pre-compiled, so timings measure the engines only."""
+    built = {name: catalog.generate(name, LENGTH) for name in WORKLOADS}
+    for trace in built.values():
+        trace.compiled(PAPER_LINE_SIZE)
+    return built
+
+
+def _best_of(function, rounds=ROUNDS):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = function()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def test_sampling_speedup_and_coverage(traces):
+    full, full_seconds = _best_of(
+        lambda: {name: JOB.run(trace) for name, trace in traces.items()}
+    )
+    sampled, sampled_seconds = _best_of(
+        lambda: {name: run_sampled(trace, JOB, PLAN) for name, trace in traces.items()}
+    )
+    speedup = full_seconds / sampled_seconds
+
+    cells = []
+    covered = 0
+    for name in WORKLOADS:
+        info = sampled[name].info
+        for size, truth, estimate in zip(SIZES, full[name], info.estimates):
+            inside = estimate.contains(truth)
+            covered += inside
+            cells.append(
+                {
+                    "trace": name,
+                    "cache_bytes": size,
+                    "full_miss_ratio": truth,
+                    "estimate": estimate.value,
+                    "ci": [estimate.ci_low, estimate.ci_high],
+                    "observed_abs_error": abs(estimate.value - truth),
+                    "reported_half_width": estimate.half_width,
+                    "covered": bool(inside),
+                }
+            )
+
+    any_info = sampled[WORKLOADS[0]].info
+    payload = {
+        "references_per_trace": LENGTH,
+        "plan": PLAN.identity(),
+        "measured_fraction": any_info.sampled_fraction,
+        "replayed_fraction": any_info.replayed_references / LENGTH,
+        "wall_full_seconds": full_seconds,
+        "wall_sampled_seconds": sampled_seconds,
+        "speedup": speedup,
+        "coverage": f"{covered}/{len(cells)}",
+        "cells": cells,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_sampling_accuracy.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    assert covered == len(cells), (
+        f"only {covered}/{len(cells)} cells covered: "
+        + "; ".join(
+            f"{c['trace']}@{c['cache_bytes']}" for c in cells if not c["covered"]
+        )
+    )
+    assert speedup >= 3.0, (
+        f"sampled sweep only {speedup:.1f}x faster "
+        f"({full_seconds:.3f}s vs {sampled_seconds:.3f}s)"
+    )

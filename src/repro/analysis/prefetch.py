@@ -240,6 +240,7 @@ def prefetch_study(
     length: int | None = None,
     workers: int | None = None,
     cache=None,
+    sampling=None,
 ) -> PrefetchStudyResult:
     """Run the full prefetch study (4 simulations per workload per size).
 
@@ -254,6 +255,11 @@ def prefetch_study(
         workers: campaign worker processes (default: ``REPRO_WORKERS`` or
             the CPU count).
         cache: campaign result cache (see :func:`repro.campaign.run_campaign`).
+        sampling: optional :class:`~repro.sampling.plans.IntervalSampling`;
+            the simulations then run sampled (miss ratios and traffic are
+            point estimates extrapolated to the full trace; cold-start
+            bias bounds are heuristic under prefetching — see
+            ``docs/sampling.md``).
 
     Returns:
         The assembled study results.
@@ -282,7 +288,9 @@ def prefetch_study(
                     )
     # Strict mode: reports are consumed positionally below, so a failed
     # cell raises after its siblings are cached.
-    campaign = run_campaign(cells, workers=workers, cache=cache, raise_on_error=True)
+    campaign = run_campaign(
+        cells, workers=workers, cache=cache, raise_on_error=True, sampling=sampling
+    )
     reports = iter(campaign.outcomes)
 
     results: dict[str, PrefetchWorkloadResult] = {}

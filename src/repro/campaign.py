@@ -259,6 +259,10 @@ class CellOutcome:
         key: the cell's content-hash cache key.
         error: why the cell failed, or ``None`` on success.
         attempts: execution attempts made (1 = first try succeeded).
+        sampling: the :class:`~repro.sampling.estimators.SamplingInfo`
+            describing how the value was estimated, when the cell ran
+            under a sampling plan (``value`` then holds point estimates);
+            ``None`` for exact cells.
     """
 
     cell: CampaignCell
@@ -269,6 +273,7 @@ class CellOutcome:
     key: str
     error: CellError | None = None
     attempts: int = 1
+    sampling: object | None = None
 
     @property
     def label(self) -> str:
@@ -441,6 +446,52 @@ def _is_transient(exc: BaseException) -> bool:
     return isinstance(exc, TRANSIENT_EXCEPTIONS)
 
 
+def _sampling_event_fields(sampling) -> dict:
+    """JSON-able event-log fields for a sampled cell (empty if exact)."""
+    if sampling is None:
+        return {}
+    return {
+        "sampling": {
+            "plan": sampling.plan,
+            "unit": sampling.unit,
+            "units_sampled": sampling.units_sampled,
+            "units_total": sampling.units_total,
+            "sampled_references": sampling.measured_references,
+            "replayed_references": sampling.replayed_references,
+            "total_references": sampling.total_references,
+            "calibration_rounds": sampling.calibration_rounds,
+            "target_met": sampling.target_met,
+            "estimates": [
+                {"value": e.value, "ci": [e.ci_low, e.ci_high]}
+                for e in sampling.estimates
+            ],
+        }
+    }
+
+
+def _wrap_sampled(cells: list[CampaignCell], sampling) -> list[CampaignCell]:
+    """Wrap every cell's job in a :class:`SampledJob` carrying ``sampling``.
+
+    Imported late so the core campaign machinery has no dependency on
+    :mod:`repro.sampling`; cells already sampled are left untouched.
+    """
+    from .sampling.jobs import SampledJob
+
+    wrapped = []
+    for cell in cells:
+        if isinstance(cell.job, SampledJob):
+            wrapped.append(cell)
+        else:
+            wrapped.append(
+                CampaignCell(
+                    label=cell.label,
+                    trace=cell.trace,
+                    job=SampledJob(cell.job, sampling),
+                )
+            )
+    return wrapped
+
+
 @dataclass
 class _Flight:
     """Book-keeping for one pending cell (queued, in a pool, or retrying)."""
@@ -489,6 +540,7 @@ class _Recorder:
                     pass  # a broken callback must not corrupt the merge
 
     def cached(self, flight: _Flight, hit: CellResult) -> None:
+        sampling = getattr(hit, "sampling", None)
         self._outcomes[flight.index] = CellOutcome(
             cell=flight.cell,
             value=hit.value,
@@ -496,6 +548,7 @@ class _Recorder:
             wall_seconds=0.0,
             cached=True,
             key=flight.key,
+            sampling=sampling,
         )
         if self._log is not None:
             self._log.emit(
@@ -508,10 +561,12 @@ class _Recorder:
                 references=hit.references,
                 refs_per_second=0.0,
                 attempts=0,
+                **_sampling_event_fields(sampling),
             )
         self._advance()
 
     def success(self, flight: _Flight, result: CellResult) -> None:
+        sampling = getattr(result, "sampling", None)
         self._outcomes[flight.index] = CellOutcome(
             cell=flight.cell,
             value=result.value,
@@ -520,6 +575,7 @@ class _Recorder:
             cached=False,
             key=flight.key,
             attempts=max(1, flight.attempts),
+            sampling=sampling,
         )
         if self._store is not None:
             self._store.put(flight.key, result)
@@ -538,6 +594,7 @@ class _Recorder:
                     else 0.0
                 ),
                 attempts=max(1, flight.attempts),
+                **_sampling_event_fields(sampling),
             )
         self._advance()
 
@@ -736,6 +793,7 @@ def run_campaign(
     timeout: float | None = None,
     events: EventLog | str | Path | None = None,
     runner: Callable[[CampaignCell], CellResult] = run_cell,
+    sampling=None,
 ) -> CampaignResult:
     """Execute a campaign: every cell, in parallel, memoized on disk.
 
@@ -768,6 +826,16 @@ def run_campaign(
             ``None`` to use ``REPRO_EVENT_LOG`` (no log if unset).
         runner: the per-cell execution function (the fault-injection seam
             used by the tests; must be picklable for pool execution).
+        sampling: a :class:`~repro.sampling.plans.SamplingPlan`
+            (:class:`IntervalSampling` or :class:`SetSampling`).  Every
+            cell's job is wrapped in a
+            :class:`~repro.sampling.jobs.SampledJob` so the campaign runs
+            sampled: outcomes carry point estimates as their values plus a
+            ``sampling`` info block (estimate ± CI per metric, sampled
+            reference counts), and the same fields land in the event log.
+            The plan enters the cache key, keeping sampled and exact
+            results separate.  All plan randomness is seeded, so results
+            stay bit-identical across worker counts.
 
     Returns:
         A :class:`CampaignResult` whose outcomes are in submission order —
@@ -778,6 +846,8 @@ def run_campaign(
             been collected, if at least one failed.
     """
     cells = list(cells)
+    if sampling is not None:
+        cells = _wrap_sampled(cells, sampling)
     count = worker_count(workers)
     store = _resolve_cache(cache)
     retries = _env_int(RETRIES_ENV, DEFAULT_RETRIES) if retries is None else retries

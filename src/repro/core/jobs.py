@@ -57,7 +57,8 @@ __all__ = [
 
 #: Bump when the synthetic-trace generator or the simulator semantics
 #: change in a way that invalidates previously cached cell results.
-CACHE_SCHEMA_VERSION = 1
+#: Version 2: :class:`CellResult` grew the ``sampling`` field.
+CACHE_SCHEMA_VERSION = 2
 
 _WRITE_POLICIES = {
     "copy-back": WritePolicy(WriteStrategy.COPY_BACK, allocate_on_write=True),
@@ -339,11 +340,15 @@ class CellResult:
         references: references replayed (throughput denominator).
         wall_seconds: execution time inside the worker, trace build
             included (not cached — a cache hit reports 0.0).
+        sampling: a :class:`~repro.sampling.estimators.SamplingInfo` when
+            the cell ran under a sampling plan (``value`` then holds point
+            estimates shaped like the exact payload); ``None`` otherwise.
     """
 
     value: SimulationReport | tuple[float, ...] | tuple[tuple[float, ...], ...]
     references: int
     wall_seconds: float
+    sampling: object | None = None
 
 
 @dataclass(frozen=True)
@@ -392,8 +397,15 @@ def run_cell(cell: CampaignCell) -> CellResult:
     start = time.perf_counter()
     trace = cell.trace.build()
     value = cell.job.run(trace)
+    # A sampled job returns a value carrying its own sampling info; the
+    # hook is duck-typed so this core module never imports repro.sampling.
+    sampling = None
+    unwrap = getattr(value, "unwrap_for_cell", None)
+    if unwrap is not None:
+        value, sampling = unwrap()
     return CellResult(
         value=value,
         references=len(trace),
         wall_seconds=time.perf_counter() - start,
+        sampling=sampling,
     )

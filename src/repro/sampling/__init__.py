@@ -1,0 +1,66 @@
+"""Statistical trace sampling: estimate full-trace metrics from a fraction.
+
+The subsystem has four layers (see ``docs/sampling.md``):
+
+* :mod:`~repro.sampling.plans` — *what to sample*:
+  :class:`IntervalSampling` (systematic / seeded-random /
+  stratified-by-phase windows) and :class:`SetSampling` (a hash-selected
+  subset of cache sets, exact per kept set).
+* :mod:`~repro.sampling.engine` — *how to run it*: exact per-window
+  stack-distance passes, per-set kernel passes, or windowed direct
+  simulation, each with cold-start bias bounds.
+* :mod:`~repro.sampling.estimators` — *what to report*: stratified ratio
+  estimates with seeded-bootstrap confidence intervals, widened
+  deterministically by the warm-start bias bounds.
+* :mod:`~repro.sampling.jobs` / :mod:`~repro.sampling.calibrate` —
+  campaign integration (:class:`SampledJob`, ``run_campaign(...,
+  sampling=plan)``) and the error-budget calibrator.
+
+:func:`repro.trace.filters.sample_time_windows` is re-exported here so
+the package is the one entry point for sampling, raw or estimated.
+"""
+
+from ..trace.filters import sample_time_windows
+from .calibrate import calibrate
+from .engine import (
+    SampledReport,
+    SampledStats,
+    run_sampled,
+    sampled_associativity_sweep,
+    sampled_simulate,
+    sampled_stack_sweep,
+)
+from .estimators import Estimate, SampledValue, SamplingInfo, ratio_estimates
+from .jobs import SampledJob
+from .plans import (
+    Interval,
+    IntervalSampling,
+    SamplingPlan,
+    SelectedIntervals,
+    SetSampling,
+    select_intervals,
+    select_set_classes,
+)
+
+__all__ = [
+    "Estimate",
+    "Interval",
+    "IntervalSampling",
+    "SampledJob",
+    "SampledReport",
+    "SampledStats",
+    "SampledValue",
+    "SamplingInfo",
+    "SamplingPlan",
+    "SelectedIntervals",
+    "SetSampling",
+    "calibrate",
+    "ratio_estimates",
+    "run_sampled",
+    "sample_time_windows",
+    "sampled_associativity_sweep",
+    "sampled_simulate",
+    "sampled_stack_sweep",
+    "select_intervals",
+    "select_set_classes",
+]

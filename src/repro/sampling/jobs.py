@@ -1,0 +1,52 @@
+"""The campaign-facing job wrapper for sampled execution.
+
+A :class:`SampledJob` wraps any existing campaign job (stack sweep,
+associativity sweep, direct simulation) with a sampling plan.  It quacks
+like the jobs in :mod:`repro.core.jobs` — ``run(trace)`` and
+``identity()`` — so the campaign runner, the worker pool, and the result
+cache need no special cases; the plan enters the cache key through
+``identity()``, keeping sampled and exact results of the same cell
+separate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..trace.stream import Trace
+from .engine import run_sampled
+from .estimators import SampledValue
+from .plans import SamplingPlan
+
+__all__ = ["SampledJob"]
+
+
+@dataclass(frozen=True)
+class SampledJob:
+    """A campaign job executed under a sampling plan.
+
+    ``run`` returns a :class:`~repro.sampling.estimators.SampledValue`;
+    :func:`repro.core.jobs.run_cell` unwraps it (via the duck-typed
+    ``unwrap_for_cell`` hook) into the payload — shaped exactly like the
+    wrapped job's — plus the :class:`~repro.sampling.estimators.SamplingInfo`
+    recorded on the cell result.
+    """
+
+    job: object
+    plan: SamplingPlan
+
+    def __post_init__(self) -> None:
+        if isinstance(self.job, SampledJob):
+            raise ValueError("cannot sample a SampledJob (nested sampling)")
+
+    def run(self, trace: Trace) -> SampledValue:
+        """Execute the wrapped job under the plan."""
+        return run_sampled(trace, self.job, self.plan)
+
+    def identity(self) -> dict:
+        """JSON-able identity: the wrapped job's plus the plan's."""
+        return {
+            "job": "sampled",
+            "inner": self.job.identity(),
+            "plan": self.plan.identity(),
+        }

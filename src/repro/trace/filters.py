@@ -11,6 +11,7 @@ interleaving to build the multiprogrammed mixes of Table 3.
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from dataclasses import replace
 
 import numpy as np
 
@@ -190,7 +191,13 @@ def interleave_round_robin(
 
 
 def sample_time_windows(
-    trace: Trace, window: int, period: int, offset: int = 0
+    trace: Trace,
+    window: int,
+    period: int,
+    offset: int | None = 0,
+    *,
+    seed: int | None = None,
+    rng: np.random.Generator | None = None,
 ) -> Trace:
     """Time-sampled sub-trace: ``window`` references out of every ``period``.
 
@@ -200,23 +207,43 @@ def sample_time_windows(
     locality but not across-window reuse, so miss ratios measured on it are
     biased *up* by the extra cold starts — callers should combine it with
     :func:`repro.core.simulator.simulate`'s ``warmup`` or treat each window
-    separately.
+    separately.  For sampling with quantified error, prefer the estimators
+    in :mod:`repro.sampling`, which re-exports this helper.
 
     Args:
         trace: the full trace.
         window: references kept per period.
         period: distance between window starts.
-        offset: start of the first window.
+        offset: start of the first window.  ``None`` draws the offset from
+            the supplied generator/seed, uniform over ``[0, period - window]``
+            (a randomized sampling phase).
+        seed: seed for the offset draw when ``offset`` is ``None``
+            (``None`` falls back to seed 0 — this function never consults
+            global random state).
+        rng: an explicit generator, overriding ``seed``.
+
+    The sampled trace keeps the source metadata, with the sampling
+    parameters recorded under ``metadata.extra["sampling"]``.
 
     Raises:
-        ValueError: unless ``0 < window <= period`` and ``offset >= 0``.
+        ValueError: unless ``0 < window <= period`` and the (given or
+            drawn) offset is non-negative.
     """
     if not 0 < window <= period:
         raise ValueError(f"need 0 < window <= period, got {window}/{period}")
+    if offset is None:
+        if rng is None:
+            rng = np.random.default_rng(0 if seed is None else seed)
+        offset = int(rng.integers(0, period - window + 1))
     if offset < 0:
         raise ValueError(f"offset must be non-negative, got {offset}")
     positions = np.arange(len(trace))
     mask = (positions >= offset) & ((positions - offset) % period < window)
-    return Trace(
-        trace.kinds[mask], trace.addresses[mask], trace.sizes[mask], trace.metadata
+    metadata = replace(
+        trace.metadata,
+        extra={
+            **trace.metadata.extra,
+            "sampling": {"window": window, "period": period, "offset": offset},
+        },
     )
+    return Trace(trace.kinds[mask], trace.addresses[mask], trace.sizes[mask], metadata)

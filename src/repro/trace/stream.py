@@ -229,6 +229,11 @@ class Trace(Sequence[MemoryAccess]):
         the simulator all share one expansion instead of re-deriving it
         per sweep cell.  The returned arrays are read-only.
 
+        Derived traces (slices, filtered or time-sampled sub-traces) are
+        new :class:`Trace` objects with their *own* empty memo, so a
+        sampled view never collides with — or evicts entries from — its
+        parent's compiled cache.
+
         Raises:
             ValueError: if ``line_size`` is not a positive power of two.
         """

@@ -1,0 +1,311 @@
+"""Accuracy suite: sampled estimates vs full-run ground truth.
+
+The acceptance bar for the subsystem: on the seeded synthetic catalog,
+every sampled miss-ratio estimate must fall inside its *reported*
+confidence interval around the full-run truth — across job families,
+selection modes and warmup treatments.  Everything here is seeded, so
+these are deterministic regression tests, not flaky coverage draws.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.jobs import AssociativitySweepJob, SimulateJob, StackSweepJob
+from repro.trace import AccessKind
+from repro.sampling import (
+    IntervalSampling,
+    SampledJob,
+    SetSampling,
+    calibrate,
+    run_sampled,
+)
+from repro.sampling.engine import sampled_simulate, sampled_stack_sweep
+from repro.workloads import catalog
+
+from ..conftest import make_trace
+
+LENGTH = 24_000
+SIZES = (512, 2048, 8192)
+
+#: The measured-good sampled-window geometry: enough windows per trace
+#: for the bootstrap to see real variance.
+PLAN_KW = dict(fraction=0.25, window=1000, seed=0)
+
+MODES = ("systematic", "random", "stratified")
+WARMUPS = ("cold", "discard", "stitch")
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {name: catalog.generate(name, LENGTH) for name in ("ZGREP", "FGO1")}
+
+
+class TestStackSweepAccuracy:
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("warmup", WARMUPS)
+    def test_truth_within_reported_ci(self, traces, mode, warmup):
+        job = StackSweepJob(sizes=SIZES)
+        plan = IntervalSampling(mode=mode, warmup=warmup, **PLAN_KW)
+        for name, trace in traces.items():
+            truth = job.run(trace)
+            value = run_sampled(trace, job, plan)
+            assert value.value == tuple(e.value for e in value.info.estimates)
+            for size, estimate, exact in zip(SIZES, value.info.estimates, truth):
+                assert estimate.contains(exact), (
+                    f"{name} {mode}/{warmup} at {size}B: "
+                    f"{estimate} does not cover truth {exact:.4f}"
+                )
+
+    def test_purge_clock_stays_aligned(self, traces):
+        # The sampled segments must purge exactly when the full run would
+        # (absolute-position epochs), or estimates drift off the truth.
+        job = StackSweepJob(sizes=SIZES, purge_interval=4_000)
+        plan = IntervalSampling(warmup="discard", **PLAN_KW)
+        for trace in traces.values():
+            truth = job.run(trace)
+            value = run_sampled(trace, job, plan)
+            for estimate, exact in zip(value.info.estimates, truth):
+                assert estimate.contains(exact)
+
+    def test_kinds_filter_respected(self, traces):
+        from repro.analysis.sweep import INSTRUCTION_KINDS
+
+        job = StackSweepJob(
+            sizes=SIZES, kinds=tuple(int(k) for k in INSTRUCTION_KINDS)
+        )
+        plan = IntervalSampling(**PLAN_KW)
+        trace = traces["ZGREP"]
+        truth = job.run(trace)
+        value = run_sampled(trace, job, plan)
+        for estimate, exact in zip(value.info.estimates, truth):
+            assert estimate.contains(exact)
+
+    def test_window_covering_trace_is_exact(self, traces):
+        trace = traces["ZGREP"]
+        job = StackSweepJob(sizes=SIZES)
+        plan = IntervalSampling(fraction=0.1, window=LENGTH + 1)
+        value = run_sampled(trace, job, plan)
+        truth = job.run(trace)
+        for estimate, exact in zip(value.info.estimates, truth):
+            assert estimate.value == pytest.approx(exact)
+            assert estimate.half_width == 0.0
+        assert value.info.units_sampled == 1
+
+    def test_empty_trace_estimates_zero(self, traces):
+        trace = traces["ZGREP"][0:0]
+        value = run_sampled(trace, StackSweepJob(sizes=SIZES), IntervalSampling())
+        assert value.value == (0.0, 0.0, 0.0)
+        assert value.info.units_sampled == 0
+        for estimate in value.info.estimates:
+            assert estimate.half_width == 0.0
+
+    def test_windows_with_no_matching_kind_are_empty_strata(self):
+        # Instruction-only trace measured through a data-kind filter:
+        # every window has zero measured references, and the estimator
+        # must degrade to an exact zero instead of dividing by nothing.
+        from repro.trace import AccessKind
+
+        trace = make_trace(
+            [(AccessKind.IFETCH, 16 * i) for i in range(4_000)], name="ionly"
+        )
+        job = StackSweepJob(
+            sizes=SIZES, kinds=(int(AccessKind.READ), int(AccessKind.WRITE))
+        )
+        value = run_sampled(trace, job, IntervalSampling(fraction=0.3, window=500))
+        assert value.value == (0.0, 0.0, 0.0)
+
+    def test_determinism_across_repeat_runs(self, traces):
+        trace = traces["FGO1"]
+        job = StackSweepJob(sizes=SIZES)
+        plan = IntervalSampling(mode="random", **PLAN_KW)
+        first = run_sampled(trace, job, plan)
+        again = run_sampled(trace, job, plan)
+        assert first.value == again.value
+        assert first.info.estimates == again.info.estimates
+
+    def test_measured_fraction_matches_the_plan(self, traces):
+        trace = traces["ZGREP"]
+        plan = IntervalSampling(**PLAN_KW)
+        value = run_sampled(trace, StackSweepJob(sizes=SIZES), plan)
+        assert value.info.sampled_fraction == pytest.approx(0.25, abs=0.05)
+        # Discard-mode warmup replays come on top of the measured refs.
+        assert value.info.replayed_references > value.info.measured_references
+        assert value.info.total_references == LENGTH
+
+    def test_invalid_capacity_rejected(self, traces):
+        job = StackSweepJob(sizes=(500,))  # not a multiple of 16
+        with pytest.raises(ValueError, match="multiples"):
+            sampled_stack_sweep(traces["ZGREP"], job, IntervalSampling())
+
+
+ASSOC_JOB = AssociativitySweepJob(ways=(1, 2, None), capacities=(1024, 4096))
+
+
+class TestAssociativityAccuracy:
+    def test_interval_sampling_covers_truth(self, traces):
+        plan = IntervalSampling(warmup="discard", **PLAN_KW)
+        for trace in traces.values():
+            truth = np.asarray(ASSOC_JOB.run(trace))
+            value = run_sampled(trace, ASSOC_JOB, plan)
+            surface = np.asarray(value.value)
+            assert surface.shape == truth.shape
+            estimates = value.info.estimates
+            for i in range(truth.shape[0]):
+                for j in range(truth.shape[1]):
+                    estimate = estimates[i * truth.shape[1] + j]
+                    assert estimate.contains(truth[i, j])
+
+    def test_stitch_mode_is_rejected(self, traces):
+        plan = IntervalSampling(warmup="stitch", **PLAN_KW)
+        with pytest.raises(ValueError, match="stitch"):
+            run_sampled(traces["ZGREP"], ASSOC_JOB, plan)
+
+    def test_set_sampling_covers_truth(self, traces):
+        plan = SetSampling(bits=3, keep=4, seed=0)
+        for trace in traces.values():
+            truth = np.asarray(ASSOC_JOB.run(trace))
+            value = run_sampled(trace, ASSOC_JOB, plan)
+            estimates = value.info.estimates
+            for i in range(truth.shape[0]):
+                for j in range(truth.shape[1]):
+                    assert estimates[i * truth.shape[1] + j].contains(truth[i, j])
+
+    def test_set_sampling_exact_for_few_set_geometries(self, traces):
+        # Fully associative rows (one set) and any geometry with fewer
+        # sets than classes are computed exactly on the full stream.
+        trace = traces["ZGREP"]
+        plan = SetSampling(bits=3, keep=2, seed=1)
+        truth = np.asarray(ASSOC_JOB.run(trace))
+        value = run_sampled(trace, ASSOC_JOB, plan)
+        full_row = ASSOC_JOB.ways.index(None)
+        cols = truth.shape[1]
+        for j in range(cols):
+            estimate = value.info.estimates[full_row * cols + j]
+            assert estimate.value == pytest.approx(truth[full_row, j])
+            assert estimate.half_width == 0.0
+
+    def test_single_set_geometry_is_exact(self, traces):
+        # 64 lines at 64-way: a single set, sampled "exactly" by the
+        # few-set fallback even though the plan keeps 2 of 8 classes.
+        trace = traces["ZGREP"]
+        job = AssociativitySweepJob(ways=(64,), capacities=(1024,))
+        truth = np.asarray(job.run(trace))
+        value = run_sampled(trace, job, SetSampling(bits=3, keep=2))
+        estimate = value.info.estimates[0]
+        assert estimate.value == pytest.approx(truth[0, 0])
+        assert estimate.half_width == 0.0
+
+    def test_set_sampling_rejects_other_jobs(self, traces):
+        with pytest.raises(ValueError, match="AssociativitySweepJob"):
+            run_sampled(
+                traces["ZGREP"], StackSweepJob(sizes=SIZES), SetSampling()
+            )
+
+
+class TestSampledSimulate:
+    def test_miss_ratio_and_traffic_cover_truth(self, traces):
+        job = SimulateJob(size=4096)
+        plan = IntervalSampling(warmup="discard", **PLAN_KW)
+        for trace in traces.values():
+            truth = job.run(trace)
+            value = run_sampled(trace, job, plan)
+            report = value.value
+            estimates = value.info.estimates
+            assert estimates[0].contains(truth.overall.miss_ratio)
+            # Traffic estimates are bytes per reference.
+            traffic_truth = truth.overall.memory_traffic_bytes / len(trace)
+            assert estimates[3].contains(traffic_truth)
+            assert report.miss_ratio == estimates[0].value
+            assert report.references == len(trace)
+
+    def test_split_sides_cover_truth(self, traces):
+        trace = traces["ZGREP"]
+        job = SimulateJob(size=4096, split=True)
+        plan = IntervalSampling(**PLAN_KW)
+        truth = job.run(trace)
+        value = run_sampled(trace, job, plan)
+        estimates = value.info.estimates
+        assert estimates[1].contains(truth.instruction_miss_ratio)
+        assert estimates[2].contains(truth.data_miss_ratio)
+
+    def test_stitch_mode_covers_truth(self, traces):
+        trace = traces["FGO1"]
+        job = SimulateJob(size=2048, purge_interval=4000)
+        plan = IntervalSampling(warmup="stitch", **PLAN_KW)
+        truth = job.run(trace)
+        value = run_sampled(trace, job, plan)
+        assert value.info.estimates[0].contains(truth.overall.miss_ratio)
+
+    def test_job_warmup_is_rejected(self, traces):
+        job = SimulateJob(size=2048, warmup=100)
+        with pytest.raises(ValueError, match="warmup"):
+            sampled_simulate(traces["ZGREP"], job, IntervalSampling())
+
+    def test_unknown_job_type_is_rejected(self, traces):
+        with pytest.raises(ValueError, match="cannot sample"):
+            run_sampled(traces["ZGREP"], object(), IntervalSampling())
+
+
+class TestCalibration:
+    def test_loose_budget_met_in_one_round(self, traces):
+        trace = traces["ZGREP"]
+        job = StackSweepJob(sizes=SIZES)
+        plan = IntervalSampling(target_rel_err=10.0, **PLAN_KW)
+        value = run_sampled(trace, job, plan)
+        assert value.info.calibration_rounds == 1
+        assert value.info.target_met is True
+
+    def test_tight_budget_grows_the_fraction(self, traces):
+        trace = traces["ZGREP"]
+        job = StackSweepJob(sizes=SIZES)
+        loose = IntervalSampling(target_rel_err=10.0, **PLAN_KW)
+        tight = IntervalSampling(
+            fraction=0.05, window=1000, seed=0, target_rel_err=1e-6
+        )
+        value = run_sampled(trace, job, tight)
+        assert value.info.calibration_rounds > 1
+        assert value.info.target_met is False  # unreachable budget, honest
+        # Cumulative work across rounds exceeds any single round's.
+        single = run_sampled(trace, job, loose)
+        assert value.info.replayed_references > single.info.replayed_references
+
+    def test_calibrate_returns_the_grown_plan(self, traces):
+        trace = traces["FGO1"]
+        job = StackSweepJob(sizes=SIZES)
+        base = IntervalSampling(fraction=0.05, window=1000, growth=2.0)
+        plan, value = calibrate(trace, job, 0.35, plan=base)
+        rounds = value.info.calibration_rounds
+        expected = 0.05
+        for _ in range(rounds - 1):
+            expected = min(base.max_fraction, expected * 2.0)
+        assert plan.fraction == pytest.approx(expected)
+        assert plan.target_rel_err == 0.35
+        if value.info.target_met:
+            assert value.info.worst_relative_half_width <= 0.35 + 1e-9
+
+    def test_calibrate_rejects_bad_budget(self, traces):
+        with pytest.raises(ValueError, match="positive"):
+            calibrate(traces["ZGREP"], StackSweepJob(sizes=SIZES), 0.0)
+
+
+class TestSampledJob:
+    def test_nested_sampling_is_rejected(self):
+        inner = SampledJob(StackSweepJob(sizes=SIZES), IntervalSampling())
+        with pytest.raises(ValueError, match="nested"):
+            SampledJob(inner, IntervalSampling())
+
+    def test_identity_carries_job_and_plan(self):
+        job = SampledJob(StackSweepJob(sizes=SIZES), IntervalSampling(seed=3))
+        identity = job.identity()
+        assert identity["job"] == "sampled"
+        assert identity["inner"]["job"] == "stack-sweep"
+        assert identity["plan"]["seed"] == 3
+
+    def test_run_matches_run_sampled(self, traces):
+        trace = traces["ZGREP"]
+        plan = IntervalSampling(**PLAN_KW)
+        job = StackSweepJob(sizes=SIZES)
+        direct = run_sampled(trace, job, plan)
+        wrapped = SampledJob(job, plan).run(trace)
+        assert wrapped.value == direct.value
+        assert wrapped.info.estimates == direct.info.estimates

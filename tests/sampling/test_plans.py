@@ -1,0 +1,155 @@
+"""Tests for sampling plans: validation, window selection, set classes."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import (
+    Interval,
+    IntervalSampling,
+    SetSampling,
+    select_intervals,
+    select_set_classes,
+)
+from repro.workloads import catalog
+
+
+class TestIntervalSamplingValidation:
+    def test_zero_fraction_is_an_empty_plan(self):
+        with pytest.raises(ValueError, match="empty sampling plan"):
+            IntervalSampling(fraction=0.0)
+
+    def test_fraction_above_one_rejected(self):
+        with pytest.raises(ValueError, match="fraction"):
+            IntervalSampling(fraction=1.5)
+
+    def test_nonpositive_window_rejected(self):
+        with pytest.raises(ValueError, match="window"):
+            IntervalSampling(window=0)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            IntervalSampling(mode="clairvoyant")
+
+    def test_unknown_warmup_rejected(self):
+        with pytest.raises(ValueError, match="warmup"):
+            IntervalSampling(warmup="psychic")
+
+    def test_fraction_above_ceiling_rejected(self):
+        with pytest.raises(ValueError, match="max_fraction"):
+            IntervalSampling(fraction=0.6, max_fraction=0.5)
+
+    def test_growth_must_exceed_one(self):
+        with pytest.raises(ValueError, match="growth"):
+            IntervalSampling(growth=1.0)
+
+    def test_warmup_references_only_for_discard(self):
+        assert IntervalSampling(window=1000, warmup="discard",
+                                warmup_fraction=0.5).warmup_references == 500
+        assert IntervalSampling(warmup="cold").warmup_references == 0
+        assert IntervalSampling(warmup="stitch").warmup_references == 0
+
+    def test_grown_caps_at_max_fraction(self):
+        plan = IntervalSampling(fraction=0.4, max_fraction=0.5, growth=2.0)
+        assert plan.grown().fraction == 0.5
+        assert plan.grown().window == plan.window
+
+    def test_identity_is_json_able(self):
+        import json
+
+        identity = IntervalSampling().identity()
+        assert identity["plan"] == "interval"
+        json.dumps(identity)
+
+
+class TestSetSamplingValidation:
+    def test_zero_keep_is_an_empty_plan(self):
+        with pytest.raises(ValueError, match="empty sampling plan"):
+            SetSampling(keep=0)
+
+    def test_keep_beyond_classes_rejected(self):
+        with pytest.raises(ValueError, match="keep"):
+            SetSampling(bits=2, keep=5)
+
+    def test_classes_property(self):
+        assert SetSampling(bits=3, keep=2).classes == 8
+
+    def test_identity_distinct_from_interval(self):
+        assert SetSampling().identity()["plan"] == "set"
+
+    def test_class_choice_is_seeded_and_sorted(self):
+        first = select_set_classes(SetSampling(bits=4, keep=3, seed=7))
+        again = select_set_classes(SetSampling(bits=4, keep=3, seed=7))
+        other = select_set_classes(SetSampling(bits=4, keep=3, seed=8))
+        assert first == again
+        assert list(first) == sorted(first)
+        assert len(set(first)) == 3
+        assert all(0 <= c < 16 for c in first)
+        assert first != other or True  # different seeds usually differ
+
+
+class TestSelectIntervals:
+    def test_empty_trace_selects_nothing(self):
+        selection = select_intervals(IntervalSampling(), 0)
+        assert selection.intervals == ()
+        assert selection.candidates == 0
+
+    def test_window_covering_trace_degenerates_to_whole_trace(self):
+        selection = select_intervals(IntervalSampling(window=5000), 3000)
+        assert selection.intervals == (Interval(0, 3000, 0),)
+        assert selection.expansion.tolist() == [1.0]
+
+    def test_systematic_windows_are_distinct_and_ordered(self):
+        plan = IntervalSampling(fraction=0.25, window=100, mode="systematic")
+        selection = select_intervals(plan, 10_000)
+        starts = [iv.start for iv in selection.intervals]
+        assert starts == sorted(starts)
+        assert len(set(starts)) == len(starts)
+        assert len(selection.intervals) == 25
+        assert selection.candidates == 100
+        # Expansion weights stand for all candidate windows.
+        assert selection.expansion.sum() == pytest.approx(100)
+
+    def test_systematic_is_deterministic_per_seed(self):
+        plan = IntervalSampling(fraction=0.2, window=100, seed=3)
+        first = select_intervals(plan, 10_000)
+        again = select_intervals(plan, 10_000)
+        assert first.intervals == again.intervals
+
+    def test_random_mode_is_seeded(self):
+        plan = IntervalSampling(fraction=0.2, window=100, mode="random", seed=5)
+        first = select_intervals(plan, 10_000)
+        again = select_intervals(plan, 10_000)
+        other = select_intervals(
+            IntervalSampling(fraction=0.2, window=100, mode="random", seed=6), 10_000
+        )
+        assert first.intervals == again.intervals
+        assert first.intervals != other.intervals
+        starts = [iv.start for iv in first.intervals]
+        assert starts == sorted(starts)
+        assert len(set(starts)) == len(starts)
+
+    def test_stratified_requires_the_trace(self):
+        plan = IntervalSampling(mode="stratified", window=100)
+        with pytest.raises(ValueError, match="needs the trace"):
+            select_intervals(plan, 10_000)
+
+    def test_stratified_covers_phases_with_consistent_weights(self):
+        trace = catalog.generate("ZGREP", 12_000)
+        plan = IntervalSampling(
+            fraction=0.5, window=1000, mode="stratified", strata=3, seed=1
+        )
+        selection = select_intervals(plan, len(trace), trace)
+        assert len(selection.intervals) == 6
+        assert selection.candidates == 12
+        # Each interval's expansion is its stratum size over its draws,
+        # so the weights must sum back to the candidate count.
+        assert selection.expansion.sum() == pytest.approx(12)
+        assert len(selection.strata) == len(selection.intervals)
+        starts = [iv.start for iv in selection.intervals]
+        assert starts == sorted(starts)
+
+    def test_windows_never_exceed_the_trace(self):
+        plan = IntervalSampling(fraction=0.9, max_fraction=1.0, window=300)
+        selection = select_intervals(plan, 1000)
+        for interval in selection.intervals:
+            assert 0 <= interval.start < interval.stop <= 1000

@@ -194,3 +194,55 @@ class TestTimeSampling:
         sampled_row = characterize(sampled)
         assert abs(full_row.fraction_ifetch - sampled_row.fraction_ifetch) < 0.02
         assert abs(full_row.branch_fraction - sampled_row.branch_fraction) < 0.05
+
+    def test_random_offset_is_seeded(self):
+        from repro.trace import sample_time_windows
+
+        trace = make_trace([(AccessKind.READ, i * 4) for i in range(40)])
+        first = sample_time_windows(trace, window=2, period=10, offset=None, seed=7)
+        again = sample_time_windows(trace, window=2, period=10, offset=None, seed=7)
+        assert first.addresses.tolist() == again.addresses.tolist()
+        drawn = first.metadata.extra["sampling"]["offset"]
+        assert 0 <= drawn <= 8
+
+    def test_random_offset_accepts_a_generator(self):
+        from repro.trace import sample_time_windows
+
+        trace = make_trace([(AccessKind.READ, i * 4) for i in range(40)])
+        rng = np.random.default_rng(7)
+        by_rng = sample_time_windows(trace, window=2, period=10, offset=None, rng=rng)
+        by_seed = sample_time_windows(trace, window=2, period=10, offset=None, seed=7)
+        assert by_rng.addresses.tolist() == by_seed.addresses.tolist()
+
+    def test_default_seed_never_touches_global_state(self):
+        from repro.trace import sample_time_windows
+
+        trace = make_trace([(AccessKind.READ, i * 4) for i in range(40)])
+        np.random.seed(1)
+        first = sample_time_windows(trace, window=2, period=10, offset=None)
+        np.random.seed(99)
+        again = sample_time_windows(trace, window=2, period=10, offset=None)
+        assert first.addresses.tolist() == again.addresses.tolist()
+
+    def test_metadata_preserved_and_annotated(self):
+        from repro.trace import sample_time_windows
+
+        trace = make_trace(
+            [(AccessKind.READ, i * 4) for i in range(20)], name="src"
+        )
+        sampled = sample_time_windows(trace, window=2, period=5)
+        assert sampled.metadata.name == "src"
+        assert sampled.metadata.architecture == trace.metadata.architecture
+        assert sampled.metadata.extra["sampling"] == {
+            "window": 2,
+            "period": 5,
+            "offset": 0,
+        }
+        # The source trace's metadata is untouched.
+        assert "sampling" not in trace.metadata.extra
+
+    def test_reexported_through_repro_sampling(self):
+        from repro import sampling
+        from repro.trace import sample_time_windows
+
+        assert sampling.sample_time_windows is sample_time_windows

@@ -181,3 +181,19 @@ class TestCompiledView:
         assert kinds == trace.kinds.tolist()
         assert addresses == trace.addresses.tolist()
         assert sizes == trace.sizes.tolist()
+
+    def test_derived_traces_have_isolated_memos(self):
+        # A sampled sub-trace must never collide with or evict its
+        # parent's compiled views (the sampling engine slices windows
+        # out of traces whose full-trace views are still in use).
+        parent = make_trace(
+            [(AccessKind.READ, 16 * i) for i in range(64)]
+        )
+        parent_view = parent.compiled(16)
+        window = parent[8:24]
+        window_view = window.compiled(16)
+        assert window_view is not parent_view
+        assert len(window_view.lines) == 16
+        # The parent's memo still holds the original full-length view.
+        assert parent.compiled(16) is parent_view
+        assert len(parent_view.lines) == 64
