@@ -1,9 +1,10 @@
 """Throughput benchmarks for the simulator core itself.
 
 Conventional pytest-benchmark microbenchmarks (multiple rounds) over the
-hot paths: the specialized replay kernel, the generic per-access engine,
-the one-pass stack-distance sweep, the all-associativity surface kernel,
-and trace generation.
+hot paths: the specialized replay kernels (one per replacement policy,
+plus Belady's MIN), the generic per-access engine, the one-pass
+stack-distance sweep, the all-associativity surface kernel, trace
+generation, and the ``.rtrc`` load paths (memory-mapped vs eager copy).
 
 Besides the usual pytest-benchmark console table, the module writes a
 machine-readable summary — references/second per hot path — to
@@ -24,9 +25,12 @@ from repro.core import (
     CacheGeometry,
     UnifiedCache,
     associativity_miss_surface,
+    belady_min_misses,
     lru_miss_ratio_curve,
     simulate,
 )
+from repro.core.replacement import policy_factory
+from repro.trace.io import read_binary_trace, write_binary_trace
 from repro.workloads import catalog
 from repro.workloads.generator import SyntheticWorkload
 
@@ -39,6 +43,14 @@ _ASSOC_CAPACITIES = (1024, 8192)
 @pytest.fixture(scope="module")
 def trace():
     return catalog.generate("VCCOM", REFS)
+
+
+@pytest.fixture(scope="module")
+def trace_file(trace, tmp_path_factory):
+    """The benchmark trace saved as a version-2 ``.rtrc`` file."""
+    path = tmp_path_factory.mktemp("rtrc") / "bench.rtrc"
+    write_binary_trace(trace, path)
+    return path
 
 
 @pytest.fixture(scope="module")
@@ -70,6 +82,45 @@ def test_simulator_kernel_throughput(benchmark, trace, throughput_log):
     _record(throughput_log, "simulator_kernel", benchmark, REFS)
 
 
+def test_simulator_fifo_kernel_throughput(benchmark, trace, throughput_log):
+    def run():
+        return simulate(
+            trace,
+            UnifiedCache(CacheGeometry(16384, 16, 4), replacement=policy_factory("fifo")),
+            engine="kernel",
+        )
+
+    report = benchmark(run)
+    assert report.references == REFS
+    _record(throughput_log, "simulator_kernel_fifo", benchmark, REFS)
+
+
+def test_simulator_random_kernel_throughput(benchmark, trace, throughput_log):
+    def run():
+        return simulate(
+            trace,
+            UnifiedCache(
+                CacheGeometry(16384, 16, 4), replacement=policy_factory("random", seed=7)
+            ),
+            engine="kernel",
+        )
+
+    report = benchmark(run)
+    assert report.references == REFS
+    _record(throughput_log, "simulator_kernel_random", benchmark, REFS)
+
+
+def test_opt_kernel_throughput(benchmark, trace, throughput_log):
+    lines = trace.compiled(16).lines
+
+    def run():
+        return belady_min_misses(lines, 1024, num_sets=256)
+
+    misses = benchmark(run)
+    assert 0 < misses <= len(lines)
+    _record(throughput_log, "opt_min", benchmark, REFS)
+
+
 def test_simulator_generic_throughput(benchmark, trace, throughput_log):
     def run():
         return simulate(trace, UnifiedCache(CacheGeometry(16384, 16)), engine="generic")
@@ -98,6 +149,24 @@ def test_associativity_surface_throughput(benchmark, trace, throughput_log):
     assert surface.shape == (len(_ASSOC_WAYS), len(_ASSOC_CAPACITIES))
     # One run covers the whole grid; refs/sec is per grid, not per cell.
     _record(throughput_log, "associativity_surface", benchmark, REFS)
+
+
+def test_trace_load_mmap(benchmark, trace, trace_file, throughput_log):
+    def run():
+        return read_binary_trace(trace_file, mmap=True)
+
+    loaded = benchmark(run)
+    assert len(loaded) == len(trace)
+    _record(throughput_log, "trace_load_mmap", benchmark, REFS)
+
+
+def test_trace_load_copy(benchmark, trace, trace_file, throughput_log):
+    def run():
+        return read_binary_trace(trace_file)
+
+    loaded = benchmark(run)
+    assert len(loaded) == len(trace)
+    _record(throughput_log, "trace_load_copy", benchmark, REFS)
 
 
 def test_generator_throughput(benchmark, throughput_log):

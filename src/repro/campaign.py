@@ -21,6 +21,11 @@ is a process pool:
   benchmark or experiment skips every already-simulated cell.  The cache
   directory comes from ``REPRO_CACHE_DIR`` (or the ``cache=`` argument);
   with neither set, caching is off.
+* Large traces are best shipped as ``TraceSpec.file`` cells pointing at a
+  version-2 ``.rtrc`` file: each worker memory-maps the array sections
+  read-only (:func:`repro.trace.io.read_binary_trace` with ``mmap=True``),
+  so concurrent workers share one physical copy of the trace through the
+  page cache instead of each materializing (or unpickling) the arrays.
 
 A production-scale campaign must also survive its own cells.  The runner
 therefore degrades gracefully instead of failing all-or-nothing:

@@ -73,17 +73,20 @@ _WRITE_POLICIES = {
 class TraceSpec:
     """How a worker process obtains one reference stream.
 
-    Three kinds are supported:
+    Four kinds are supported:
 
     * ``catalog`` — a named catalog trace, regenerated deterministically
       from its workload parameters (``name`` + ``length`` identify it);
     * ``mix`` — a round-robin multiprogramming interleave of catalog
       traces (the paper's Table 3 methodology);
     * ``inline`` — a literal trace carried as raw array bytes, for traces
-      that exist only in the caller's process.
+      that exist only in the caller's process;
+    * ``file`` — a trace file on shared storage, loaded (by default
+      memory-mapped) in each worker, so every process borrows the same
+      on-disk pages instead of carrying the arrays through pickling.
 
-    Use the :meth:`catalog` / :meth:`mix` / :meth:`inline` constructors
-    rather than instantiating directly.
+    Use the :meth:`catalog` / :meth:`mix` / :meth:`inline` / :meth:`file`
+    constructors rather than instantiating directly.
     """
 
     kind: str
@@ -93,6 +96,8 @@ class TraceSpec:
     quantum: int | None = None
     total: int | None = None
     payload: tuple = field(default=(), repr=False)
+    path: str | None = None
+    mmap: bool = True
 
     @classmethod
     def catalog(cls, name: str, length: int | None = None) -> "TraceSpec":
@@ -141,6 +146,29 @@ class TraceSpec:
             ),
         )
 
+    @classmethod
+    def file(cls, path, mmap: bool = True, name: str | None = None) -> "TraceSpec":
+        """A trace stored on (worker-reachable) disk, loaded per process.
+
+        With ``mmap=True`` (the default) and a version-2 ``.rtrc`` file,
+        each worker maps the array sections read-only instead of copying
+        them, so concurrent workers share one physical copy of the trace
+        (see :func:`repro.trace.io.read_binary_trace`).  Text traces and
+        version-1 files load eagerly regardless.
+
+        The cache identity is the path plus the file's byte size — the
+        file is assumed immutable for the lifetime of the result cache.
+        """
+        from pathlib import Path
+
+        path = Path(path)
+        return cls(
+            kind="file",
+            name=name if name is not None else path.stem,
+            path=str(path),
+            mmap=mmap,
+        )
+
     def build(self) -> Trace:
         """Materialize the trace (in whatever process this runs in)."""
         return _build_trace(self)
@@ -157,6 +185,13 @@ class TraceSpec:
             for blob in self.payload:
                 digest.update(blob)
             out["content"] = digest.hexdigest()
+        elif self.kind == "file":
+            from pathlib import Path
+
+            out["path"] = self.path
+            # mmap is a transport choice, not an identity: mapped and eager
+            # loads of the same file yield the same trace.
+            out["bytes"] = Path(self.path).stat().st_size
         return out
 
 
@@ -186,6 +221,10 @@ def _build_trace(spec: TraceSpec) -> Trace:
             np.frombuffer(sizes_blob, dtype=np.int32),
             TraceMetadata(name=spec.name),
         )
+    if spec.kind == "file":
+        from ..trace.io import load_trace
+
+        return load_trace(spec.path, mmap=spec.mmap)
     raise ValueError(f"unknown trace spec kind {spec.kind!r}")
 
 
@@ -195,6 +234,11 @@ class SimulateJob:
 
     Fields mirror the ``simulate`` CLI subcommand; the worker rebuilds the
     organization from these names so the job stays picklable and hashable.
+
+    ``engine`` selects the replay engine as in
+    :func:`repro.core.simulator.simulate` and is *excluded* from the cache
+    identity: every engine produces an identical report, so forcing
+    ``"generic"`` (or ``"kernel"``) must hit the same cached cell.
     """
 
     size: int
@@ -207,6 +251,7 @@ class SimulateJob:
     purge_interval: int | None = None
     limit: int | None = None
     warmup: int = 0
+    engine: str = "auto"
 
     def build_organization(self) -> CacheOrganization:
         """A fresh organization for one run of this job."""
@@ -227,6 +272,7 @@ class SimulateJob:
             purge_interval=self.purge_interval,
             limit=self.limit,
             warmup=self.warmup,
+            engine=self.engine,
         )
 
     def identity(self) -> dict:

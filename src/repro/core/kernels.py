@@ -1,17 +1,25 @@
 """Fast simulation kernels: specialized paths bit-identical to the engine.
 
 The paper's value is the *scale* of its trace-driven campaign, so the hot
-paths matter.  This module holds the two replay kernels that exploit
-structure instead of brute-force per-reference dispatch:
+paths matter.  This module holds the replay kernels that exploit structure
+instead of brute-force per-reference dispatch:
 
-* :func:`lru_demand_replay` — a specialized replay loop for the paper's
-  standard configuration (LRU, demand fetch, copy-back or simple
-  write-through).  It consumes the trace's precompiled per-line view
-  (:meth:`repro.trace.stream.Trace.compiled`), keeps residency in plain
-  dicts with hoisted lookups, and dispatches per-kind counters through an
-  int-indexed table — no policy objects, enum constructions or attribute
-  chains per reference.  :func:`repro.core.simulator.simulate` selects it
-  automatically when :func:`can_replay` approves the organization.
+* :func:`lru_demand_replay` — replay for demand-fetch caches without write
+  combining.  LRU members on a cold start take a fully vectorized path:
+  per-set stack distances classify every reference as hit or miss in whole-
+  array passes (a reference hits a W-way set iff its distance within the
+  set is at most W), and eviction/push/final-state accounting is recovered
+  from *residency intervals* — the spans between consecutive misses of a
+  line — with segmented prefix sums.  The distance machinery and sort
+  orders are memoized on the compiled trace view, so sweeping one trace
+  across many cache sizes pays the O(n log² n) analysis once and each
+  subsequent configuration costs a few O(n) array passes.  FIFO and RANDOM
+  members use specialized dict loops (DEW's observation that FIFO needs no
+  reorder on hit makes the FIFO loop branch-free on the hit path); LRU
+  members that start warm, or write-through-no-allocate members, use the
+  original tight dict loop.  :func:`repro.core.simulator.simulate` selects
+  the kernel automatically when :func:`can_replay` approves the
+  organization.
 
 * :func:`all_associativity_hit_counts` — per-set LRU stack distances over
   a set-partitioned line stream: at a fixed set count, one pass yields the
@@ -22,10 +30,11 @@ structure instead of brute-force per-reference dispatch:
   count, which is what collapses the associativity study's simulation
   grid.
 
-Both kernels are exact: equivalence tests replay randomized traces
+All kernels are exact: equivalence tests replay randomized traces
 (straddling accesses, purges, warmup) through the kernels and the
 reference :class:`~repro.core.cache.Cache` engine and require identical
-statistics.
+statistics, identical residency, and — for RANDOM — an identical stream of
+random victim draws.
 """
 
 from __future__ import annotations
@@ -39,8 +48,13 @@ from ..trace.stream import Trace
 from .cache import FLAG_DATA, FLAG_DIRTY, FLAG_REFERENCED, Cache
 from .fetch import FetchPolicy
 from .organization import CacheOrganization
-from .replacement import LRU
-from .stackdist import _distances_fenwick
+from .replacement import FIFO, LRU, RandomReplacement
+from .stackdist import (
+    COLD_DISTANCE,
+    _stable_order,
+    _stack_distances_ordered,
+    set_stack_distances,
+)
 
 __all__ = [
     "can_replay",
@@ -61,13 +75,31 @@ _RESET = 1
 # -- kernel selection --------------------------------------------------------
 
 
+def _policy_kind(cache: Cache) -> str | None:
+    """``"lru"``/``"fifo"``/``"random"`` when every set runs that exact
+    policy class, else None.
+
+    Detection probes the per-set policy instances rather than the factory:
+    the random factory is a closure (each set gets an independent seed
+    stream), so no factory identity check can recognize it.
+    """
+    policies = cache._policies
+    head = type(policies[0])
+    if head not in (LRU, FIFO, RandomReplacement):
+        return None
+    for policy in policies:
+        if type(policy) is not head:
+            return None
+    return head.name
+
+
 def _cache_qualifies(cache: Cache) -> bool:
     """True iff one cache array is expressible by the replay kernel."""
     return (
         type(cache) is Cache
-        and cache.replacement_factory is LRU
         and cache.fetch_policy is FetchPolicy.DEMAND
         and cache.write_policy.combining_bytes == 0
+        and _policy_kind(cache) is not None
     )
 
 
@@ -76,9 +108,9 @@ def can_replay(organization: CacheOrganization) -> bool:
     exactly for ``organization``.
 
     Requirements: the organization exposes a replay plan (unified or
-    split), and every member cache is a plain :class:`Cache` with LRU
-    replacement, demand fetching, and either copy-back or write-through
-    without a combining buffer.  Anything else (prefetching, FIFO/random/
+    split), and every member cache is a plain :class:`Cache` with LRU,
+    FIFO or random replacement, demand fetching, and either copy-back or
+    write-through without a combining buffer.  Anything else (prefetching,
     LFU, write combining, sector caches) takes the generic engine.
     """
     plan = organization.replay_plan()
@@ -88,7 +120,7 @@ def can_replay(organization: CacheOrganization) -> bool:
     return all(_cache_qualifies(cache) for cache in members)
 
 
-# -- the specialized LRU demand-fetch replay kernel --------------------------
+# -- the specialized demand-fetch replay kernel ------------------------------
 
 
 def lru_demand_replay(
@@ -101,9 +133,21 @@ def lru_demand_replay(
     """Replay ``trace`` through ``organization`` on the fast path.
 
     Mutates the organization exactly as the generic engine would — same
-    counters, same resident lines and flags, same recency order — but
-    replays 10-20x faster.  Callers must have checked :func:`can_replay`;
-    argument validation is the caller's (``simulate``'s) job.
+    counters, same resident lines and flags, same recency order, same
+    random-policy generator state — but orders of magnitude faster.
+    Callers must have checked :func:`can_replay`; argument validation is
+    the caller's (``simulate``'s) job.
+
+    Kernel-selection matrix (per member cache):
+
+    ========  ===========================  =================================
+    policy    starting state               path
+    ========  ===========================  =================================
+    LRU       cold, allocate-on-write      vectorized stack-distance replay
+    LRU       warm start or no-allocate    tight dict loop
+    FIFO      any                          dict loop, no reorder on hit
+    RANDOM    any                          dict loop, cache's own per-set rngs
+    ========  ===========================  =================================
 
     Returns:
         The number of measured (post-warmup) trace references.
@@ -132,6 +176,36 @@ def lru_demand_replay(
         member_of = np.asarray(routing, dtype=np.int8)[kinds]
 
     for index, cache in enumerate(members):
+        policy = _policy_kind(cache)
+        if (
+            policy == "lru"
+            and cache.write_policy.allocate_on_write
+            and not any(cache._sets)
+        ):
+            bundle = compiled.memo(
+                (
+                    "replay",
+                    cut,
+                    None if single else (routing, index),
+                    cache.geometry.num_sets,
+                    purge_interval,
+                    cache.write_policy.is_copy_back,
+                ),
+                lambda: _build_replay_bundle(
+                    kinds,
+                    lines,
+                    positions,
+                    None if single else member_of == index,
+                    cache.geometry.num_sets,
+                    purge_positions,
+                    cache.write_policy.is_copy_back,
+                ),
+            )
+            if warmup == 0 and cache.geometry.ways < _CLIP:
+                _replay_member_presorted(cache, bundle)
+            else:
+                _replay_member_vectorized(cache, bundle, warmup)
+            continue
         if single:
             mkinds, mlines, mpositions = kinds, lines, positions
         else:
@@ -154,7 +228,13 @@ def lru_demand_replay(
             kind_list, line_list = compiled.as_lists()
         else:
             kind_list, line_list = mkinds.tolist(), mlines.tolist()
-        _replay_member(cache, kind_list, line_list, events)
+        if policy == "lru":
+            _replay_member(cache, kind_list, line_list, events)
+        else:
+            rngs = (
+                [p._rng for p in cache._policies] if policy == "random" else None
+            )
+            _replay_member_queue(cache, kind_list, line_list, events, rngs)
 
     # Write-through accounting is per trace reference and independent of
     # cache state (no combining on the fast path), so it vectorizes over
@@ -170,16 +250,504 @@ def lru_demand_replay(
     return length - warmup
 
 
+# -- the vectorized LRU replay path ------------------------------------------
+
+
+#: Stack distances are clipped to this before being packed next to chain
+#: ids in one int64 (the segmented-cummax trick).  Any real associativity
+#: is far below it, so the clip never changes a hit/miss comparison; a
+#: (absurd) wider cache falls back to the unclipped O(n) path.
+_CLIP = np.int64(1) << 32
+_PACK_SHIFT = 33
+
+
+class _ReplayBundle:
+    """Configuration-independent analysis of one member's line stream.
+
+    Everything here depends only on the stream, the set count and the purge
+    schedule — *not* on associativity or warmup — so one bundle serves a
+    whole capacity/ways sweep.  Layout: arrays are in "set order" (stable
+    sort by set index; within a set, original time order), the layout in
+    which each set's references are contiguous and per-set stack structure
+    becomes segmented prefix sums.
+
+    The ``sorted_*``/``chain_*`` members are the threshold tables of the
+    measured-from-the-start (no warmup) fast path: every counter the
+    engine produces is a monotone function of the associativity ``W``
+    (references with stack distance > W, residencies whose first data
+    reference follows a distance-> W gap, chains with fewer than W
+    later-finishing neighbours, ...), so one ``np.sort`` at build time
+    turns each per-call tally into a binary search.
+    """
+
+    __slots__ = (
+        "kinds",          # int8, set order
+        "lines",          # int64, set order
+        "positions",      # int64 trace positions, set order
+        "distances",      # per-set, per-epoch LRU stack distances
+        "first_touch",    # exclusive count of distinct lines seen earlier
+                          # in the reference's (set, epoch) segment
+        "epochs",         # purge-epoch number per reference (None: no purges)
+        "line_order",     # stable order by line over the set-order layout
+        "last_in_epoch",  # in line_order space: last touch of (line, epoch)?
+        "suffix_last",    # markers strictly after, within the segment
+        "flag_or",        # per-reference flag bitmask, in line_order space
+        "kind_counts",    # histogram of kinds (warmup-free refs counters)
+        "purge_positions",  # int64 purge trace-positions
+        # threshold tables (clipped distances, sorted ascending)
+        "sorted_by_kind",     # 4 arrays: distances of each access kind
+        "sorted_reuse",       # distances of the non-cold references
+        "sorted_cold_crowd",  # first_touch of the cold references
+        "sorted_res_data",    # per data ref: max distance since prev data ref
+        "sorted_res_dirty",   # per write ref: ditto for writes (copy-back)
+        "chains",             # per-(line, epoch) chain survival table
+    )
+
+    def __init__(self, **fields) -> None:
+        for name, value in fields.items():
+            setattr(self, name, value)
+
+
+def _build_replay_bundle(
+    kinds: np.ndarray,
+    lines: np.ndarray,
+    positions: np.ndarray,
+    member_mask: np.ndarray | None,
+    num_sets: int,
+    purge_positions: range,
+    copy_back: bool,
+) -> _ReplayBundle:
+    if member_mask is not None:
+        kinds = kinds[member_mask]
+        lines = lines[member_mask]
+        positions = positions[member_mask]
+    n = len(lines)
+    pp = np.asarray(purge_positions, dtype=np.int64)
+
+    if num_sets > 1:
+        set_index = lines & (num_sets - 1)
+        order = _stable_order(set_index)
+        kinds = kinds[order]
+        lines = lines[order]
+        positions = positions[order]
+        set_index = set_index[order]
+    else:
+        set_index = None
+
+    epochs = np.searchsorted(pp, positions, side="right") if len(pp) else None
+
+    # The stream is already set-ordered, so the ordered distance core
+    # applies directly (set_stack_distances would redo the partition).
+    distances = _stack_distances_ordered(lines, epochs)
+    cold = distances == COLD_DISTANCE
+
+    # Segment = one (set, epoch) run in the set-order layout.
+    segment_change = np.empty(n, dtype=bool)
+    if n:
+        segment_change[0] = True
+        if set_index is not None:
+            np.not_equal(set_index[1:], set_index[:-1], out=segment_change[1:])
+        else:
+            segment_change[1:] = False
+        if epochs is not None:
+            segment_change[1:] |= epochs[1:] != epochs[:-1]
+    segment_start = np.flatnonzero(segment_change)
+    segment_id = np.cumsum(segment_change) - 1
+
+    # Distinct lines seen strictly earlier in the segment: cold references
+    # are exactly the first touches, so a segmented exclusive prefix sum of
+    # the cold markers counts them.
+    touches = cold.astype(np.int64)
+    running = np.cumsum(touches)
+    exclusive = running - touches
+    first_touch = exclusive - (exclusive[segment_start][segment_id] if n else exclusive)
+
+    # Line-grouped view: stable order by line; within a line group the
+    # layout order is time order, so residency intervals are contiguous.
+    line_order = _stable_order(lines)
+    grouped_lines = lines[line_order]
+    last_in_epoch = np.empty(n, dtype=bool)
+    if n:
+        last_in_epoch[-1] = True
+        np.not_equal(grouped_lines[1:], grouped_lines[:-1], out=last_in_epoch[:-1])
+        if epochs is not None:
+            grouped_epochs = epochs[line_order]
+            last_in_epoch[:-1] |= grouped_epochs[1:] != grouped_epochs[:-1]
+
+    # For each reference, the number of (line, epoch) last-touches strictly
+    # after it in its segment — the count of distinct lines whose final
+    # reference comes later, which decides end-of-epoch survival.
+    markers = np.empty(n, dtype=bool)
+    markers[line_order] = last_in_epoch
+    marker_running = np.cumsum(markers)
+    if n:
+        segment_end = np.append(segment_start[1:], n) - 1
+        suffix_last = marker_running[segment_end][segment_id] - marker_running
+    else:
+        suffix_last = marker_running
+
+    flag_table = np.array(
+        [
+            FLAG_REFERENCED,
+            FLAG_REFERENCED | FLAG_DATA,
+            FLAG_REFERENCED | FLAG_DATA | (FLAG_DIRTY if copy_back else 0),
+            FLAG_REFERENCED,
+        ],
+        dtype=np.int64,
+    )
+    flag_or = flag_table[kinds][line_order]
+
+    # -- threshold tables for the no-warmup fast path ------------------------
+
+    clipped = np.minimum(distances, _CLIP)
+    sorted_by_kind = tuple(
+        np.sort(clipped[kinds == kind]) for kind in range(4)
+    )
+    sorted_reuse = np.sort(clipped[~cold])
+    sorted_cold_crowd = np.sort(first_touch[cold])
+
+    # Chains: one row per (line, epoch) group in line_order space.  A chain
+    # splits into residencies at its misses; only the *last* residency can
+    # outlive the epoch.
+    grouped_distances = clipped[line_order]
+    grouped_kinds = kinds[line_order]
+    chain_start = np.empty(n, dtype=bool)
+    if n:
+        chain_start[0] = True
+        chain_start[1:] = last_in_epoch[:-1]
+    chain_id = np.cumsum(chain_start) - 1
+    chain_starts = np.flatnonzero(chain_start)
+    chain_ends = np.flatnonzero(last_in_epoch)
+    num_chains = len(chain_starts)
+
+    # Inclusive suffix max of distances within each chain, via one reverse
+    # cummax over (chain, distance) packed into int64.
+    if n:
+        packed = ((np.int64(num_chains) - chain_id[::-1]) << _PACK_SHIFT) | (
+            grouped_distances[::-1]
+        )
+        suffix_max = (
+            np.maximum.accumulate(packed) & ((np.int64(1) << _PACK_SHIFT) - 1)
+        )[::-1]
+    else:
+        suffix_max = grouped_distances
+
+    def residency_thresholds(flagged: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(per_ref, per_chain)`` thresholds for one flag class.
+
+        per_ref[j] (for each flagged reference j) is the largest distance
+        between j and the previous flagged reference of its chain — j opens
+        a new flag-carrying residency iff that gap contains a miss, i.e.
+        iff the threshold exceeds W.  per_chain[c] is the distance max
+        *after* the chain's last flagged reference — the chain's surviving
+        residency carries the flag iff that is at most W (BIG if the chain
+        has no flagged reference at all).
+        """
+        if not n:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        # Running max that resets after each flagged reference: sub-chains
+        # delimited by chain starts and positions following flagged refs.
+        sub_start = chain_start.copy()
+        sub_start[1:] |= flagged[:-1]
+        sub_id = np.cumsum(sub_start) - 1
+        packed = (sub_id << _PACK_SHIFT) | grouped_distances
+        running = np.maximum.accumulate(packed) & ((np.int64(1) << _PACK_SHIFT) - 1)
+        per_ref = np.sort(running[flagged])
+        # Last flagged reference per chain (index max; -1 when absent).
+        index = np.arange(n, dtype=np.int64)
+        last_flagged = np.maximum.reduceat(
+            np.where(flagged, index, np.int64(-1)), chain_starts
+        )
+        per_chain = np.full(num_chains, _CLIP, dtype=np.int64)
+        present = last_flagged >= 0
+        interior = present & (last_flagged < chain_ends)
+        per_chain[present] = 0  # flagged ref is the chain's last reference
+        per_chain[interior] = suffix_max[
+            np.minimum(last_flagged[interior] + 1, n - 1)
+        ]
+        return per_ref, per_chain
+
+    is_data = (grouped_kinds == 1) | (grouped_kinds == 2)
+    sorted_res_data, chain_data = residency_thresholds(is_data)
+    if copy_back:
+        sorted_res_dirty, chain_dirty = residency_thresholds(grouped_kinds == 2)
+    else:
+        sorted_res_dirty = np.empty(0, dtype=np.int64)
+        chain_dirty = np.full(num_chains, _CLIP, dtype=np.int64)
+
+    # Survival threshold: a chain's last residency is resident at epoch end
+    # iff fewer than W other lines finish after it — survive_at <= W.
+    end_positions = line_order[chain_ends]
+    survive_at = suffix_last[end_positions] + 1
+    chain_epoch = (
+        epochs[end_positions] if epochs is not None else np.zeros(num_chains, np.int64)
+    )
+    chain_lines = lines[end_positions]
+    with_data = np.maximum(survive_at, chain_data)
+    with_dirty = np.maximum(survive_at, chain_dirty)
+
+    total_purges = len(pp)
+    purged_mask = chain_epoch < total_purges
+    final_mask = chain_epoch == total_purges
+    final_order = np.flatnonzero(final_mask)[np.argsort(survive_at[final_mask])]
+    chains = {
+        "survive_data": np.sort(with_data),
+        "survive_dirty": np.sort(with_dirty),
+        "purged_at": np.sort(survive_at[purged_mask]),
+        "purged_data": np.sort(with_data[purged_mask]),
+        "purged_dirty": np.sort(with_dirty[purged_mask]),
+        # Final-epoch chains sorted by survival threshold, so the set of
+        # survivors at any W is a prefix.
+        "final_at": survive_at[final_order],
+        "final_lines": chain_lines[final_order],
+        "final_end": end_positions[final_order],
+        "final_data": chain_data[final_order],
+        "final_dirty": chain_dirty[final_order],
+    }
+
+    return _ReplayBundle(
+        kinds=kinds,
+        lines=lines,
+        positions=positions,
+        distances=distances,
+        first_touch=first_touch,
+        epochs=epochs,
+        line_order=line_order,
+        last_in_epoch=last_in_epoch,
+        suffix_last=suffix_last,
+        flag_or=flag_or,
+        kind_counts=np.bincount(kinds, minlength=4),
+        purge_positions=pp,
+        sorted_by_kind=sorted_by_kind,
+        sorted_reuse=sorted_reuse,
+        sorted_cold_crowd=sorted_cold_crowd,
+        sorted_res_data=sorted_res_data,
+        sorted_res_dirty=sorted_res_dirty,
+        chains=chains,
+    )
+
+
+def _push_tally(flags: np.ndarray) -> tuple[int, int, int]:
+    """``(data, dirty_data, dirty)`` push counts for pushed-line flags."""
+    data_mask = flags & FLAG_DATA != 0
+    dirty_mask = flags & FLAG_DIRTY != 0
+    return (
+        int(np.count_nonzero(data_mask)),
+        int(np.count_nonzero(data_mask & dirty_mask)),
+        int(np.count_nonzero(dirty_mask)),
+    )
+
+
+def _replay_member_presorted(cache: Cache, bundle: _ReplayBundle) -> None:
+    """Measured-from-the-start replay: every counter via binary search.
+
+    With no warmup reset, each statistic is a monotone tally against the
+    associativity ``W``, answered from the bundle's sorted threshold
+    tables:
+
+    * misses per kind — references with stack distance > W;
+    * evictions — reused references at distance > W (a reused line's set is
+      necessarily full when it misses) plus cold references arriving at a
+      set already holding >= W lines;
+    * pushed-line flag counts — a residency carries DATA iff some data
+      reference opens it, counted by the first data reference after each
+      distance-> W gap, minus the flag-carrying residencies that survive
+      their epoch (threshold ``max(survive_at, chain_data)``); DIRTY comes
+      from write references the same way, and under the kernel's flag
+      model DIRTY implies DATA, so dirty-data pushes equal dirty pushes;
+    * purge pushes — end-of-epoch survivors of purged epochs.
+
+    Only the final residency write-back (at most W lines per set) leaves
+    O(log n) territory.
+    """
+    ways = cache.geometry.ways
+    search = np.searchsorted
+
+    refs = bundle.kind_counts
+    miss_by_kind = [
+        int(len(table) - search(table, ways, side="right"))
+        for table in bundle.sorted_by_kind
+    ]
+    demand = sum(miss_by_kind)
+
+    reuse = bundle.sorted_reuse
+    crowd = bundle.sorted_cold_crowd
+    rpush = int(len(reuse) - search(reuse, ways, side="right")) + int(
+        len(crowd) - search(crowd, ways, side="left")
+    )
+
+    chains = bundle.chains
+    res_data = bundle.sorted_res_data
+    res_dirty = bundle.sorted_res_dirty
+    total_data = int(len(res_data) - search(res_data, ways, side="right"))
+    total_dirty = int(len(res_dirty) - search(res_dirty, ways, side="right"))
+    survive_data = int(search(chains["survive_data"], ways, side="right"))
+    survive_dirty = int(search(chains["survive_dirty"], ways, side="right"))
+    ppush = int(search(chains["purged_at"], ways, side="right"))
+    purged_data = int(search(chains["purged_data"], ways, side="right"))
+    purged_dirty = int(search(chains["purged_dirty"], ways, side="right"))
+    data = total_data - survive_data + purged_data
+    dirty = total_dirty - survive_dirty + purged_dirty
+
+    stats = cache.stats
+    for kind, counts in enumerate(stats.counts_by_kind()):
+        counts.references += int(refs[kind])
+        counts.misses += miss_by_kind[kind]
+    stats.demand_fetches += demand
+    stats.replacement_pushes += rpush
+    stats.purge_pushes += ppush
+    stats.dirty_pushes += dirty
+    stats.data_pushes += data
+    stats.dirty_data_pushes += dirty  # DIRTY implies DATA on a cold start
+    stats.purges += len(bundle.purge_positions)
+    if len(bundle.purge_positions):
+        cache._last_write_word = -1
+
+    survivors = int(search(chains["final_at"], ways, side="right"))
+    if survivors:
+        sets = cache._sets
+        set_mask = cache.geometry.num_sets - 1
+        order = np.argsort(chains["final_end"][:survivors])
+        final_lines = chains["final_lines"][:survivors][order].tolist()
+        has_data = (chains["final_data"][:survivors][order] <= ways).tolist()
+        has_dirty = (chains["final_dirty"][:survivors][order] <= ways).tolist()
+        base = FLAG_REFERENCED
+        for line, d_flag, w_flag in zip(final_lines, has_data, has_dirty):
+            sets[line & set_mask][line] = (
+                base | (FLAG_DATA if d_flag else 0) | (FLAG_DIRTY if w_flag else 0)
+            )
+
+
+def _replay_member_vectorized(cache: Cache, bundle: _ReplayBundle, warmup: int) -> None:
+    """Apply one member's whole stream to a cold LRU cache in array passes.
+
+    Hits/misses come straight from the precomputed stack distances
+    (``distance <= ways`` hits).  Evictions are the misses arriving with a
+    full set (``first_touch >= ways``).  Push flags, survival and the final
+    residency are derived per *residency interval* — each miss of a line
+    opens one — because a pushed line carries the OR of the flags of
+    exactly the references inside its residency.  Victim↔eviction matching
+    for warmup accounting uses the LRU invariant that successive victims'
+    final-touch times strictly increase within a segment.
+    """
+    ways = cache.geometry.ways
+    positions = bundle.positions
+    distances = bundle.distances
+    n = len(distances)
+    pp = bundle.purge_positions
+    total_purges = len(pp)
+
+    miss = distances > ways
+    if warmup:
+        measured = positions >= warmup
+        refs = np.bincount(bundle.kinds[measured], minlength=4)
+        counted_miss = miss & measured
+    else:
+        measured = None
+        refs = bundle.kind_counts
+        counted_miss = miss
+    miss_by_kind = np.bincount(bundle.kinds[counted_miss], minlength=4)
+    demand = int(miss_by_kind.sum())
+
+    eviction = miss & (bundle.first_touch >= ways)
+
+    # Residency intervals in line_order space: every line group opens with
+    # a (cold) miss, so consecutive miss markers delimit residencies even
+    # across group boundaries.
+    miss_grouped = miss[bundle.line_order]
+    res_start = np.flatnonzero(miss_grouped)
+    if len(res_start):
+        res_flags = np.bitwise_or.reduceat(bundle.flag_or, res_start)
+        res_last = np.append(res_start[1:], n) - 1       # line_order index
+        res_last_pos = bundle.line_order[res_last]       # set-order index
+        # Survives its epoch iff it is the line's final residency there and
+        # fewer than `ways` other lines finish after its last touch.
+        survive = bundle.last_in_epoch[res_last] & (
+            bundle.suffix_last[res_last_pos] < ways
+        )
+    else:
+        res_flags = np.empty(0, dtype=np.int64)
+        res_last_pos = np.empty(0, dtype=np.int64)
+        survive = np.empty(0, dtype=bool)
+    evicted = ~survive
+    res_epoch = (
+        bundle.epochs[res_last_pos]
+        if bundle.epochs is not None
+        else np.zeros(len(res_flags), dtype=np.int64)
+    )
+    purged = survive & (res_epoch < total_purges)
+    final = survive & (res_epoch == total_purges)
+
+    if warmup:
+        # Eviction events (set order = per-segment time order) pair with
+        # evicted residencies sorted by final touch: within a segment, LRU
+        # victims' last-touch times strictly increase, and counts match
+        # per segment, so one global zip aligns them.
+        event_pos = positions[eviction]
+        counted_event = event_pos >= warmup
+        rpush = int(np.count_nonzero(counted_event))
+        evicted_flags = res_flags[evicted]
+        order = np.argsort(res_last_pos[evicted])
+        pushed_evicted = evicted_flags[order][counted_event]
+        counted_purge = pp[res_epoch[purged]] > warmup
+        pushed_purged = res_flags[purged][counted_purge]
+        purges = int(np.count_nonzero(pp > warmup))
+    else:
+        rpush = int(np.count_nonzero(eviction))
+        pushed_evicted = res_flags[evicted]
+        pushed_purged = res_flags[purged]
+        purges = total_purges
+    ppush = len(pushed_purged)
+    data_e, ddata_e, dirty_e = _push_tally(pushed_evicted)
+    data_p, ddata_p, dirty_p = _push_tally(pushed_purged)
+
+    if warmup:
+        cache.reset_statistics()
+    stats = cache.stats
+    for kind, counts in enumerate(stats.counts_by_kind()):
+        counts.references += int(refs[kind])
+        counts.misses += int(miss_by_kind[kind])
+    stats.demand_fetches += demand
+    stats.replacement_pushes += rpush
+    stats.purge_pushes += ppush
+    stats.dirty_pushes += dirty_e + dirty_p
+    stats.data_pushes += data_e + data_p
+    stats.dirty_data_pushes += ddata_e + ddata_p
+    stats.purges += purges
+    if total_purges:
+        cache._last_write_word = -1
+
+    # Final state: survivors of the post-last-purge epoch, inserted in
+    # ascending final-touch order — per set, that is exactly the engine's
+    # least-recent-first dict order.
+    final_index = np.flatnonzero(final)
+    if len(final_index):
+        sets = cache._sets
+        set_mask = cache.geometry.num_sets - 1
+        last_pos = res_last_pos[final_index]
+        order = np.argsort(last_pos)
+        final_lines = bundle.lines[last_pos[order]]
+        final_flags = res_flags[final_index][order]
+        for line, flags in zip(final_lines.tolist(), final_flags.tolist()):
+            sets[line & set_mask][line] = flags
+
+
+# -- the dict-loop replay paths ----------------------------------------------
+
+
 def _replay_member(
     cache: Cache,
     kinds: list[int],
     lines: list[int],
     events: list[tuple[int, int, int]],
 ) -> None:
-    """Tight replay of one cache array's line-reference stream.
+    """Tight LRU replay of one cache array's line-reference stream.
 
     ``events`` are ``(stream_index, trace_position, tag)`` triples, sorted;
-    each fires after ``stream_index`` elements have been applied.
+    each fires after ``stream_index`` elements have been applied.  Covers
+    the LRU cases the vectorized path cannot: warm starting state and
+    write-through without write-allocate.
     """
     set_mask = cache.geometry.num_sets - 1
     ways = cache.geometry.ways
@@ -267,6 +835,107 @@ def _replay_member(
         target.update(resident)  # dict order is recency order
 
 
+def _replay_member_queue(
+    cache: Cache,
+    kinds: list[int],
+    lines: list[int],
+    events: list[tuple[int, int, int]],
+    rngs: list | None,
+) -> None:
+    """FIFO/RANDOM replay of one cache array's line-reference stream.
+
+    The DEW fast path: neither policy reorders on a hit, so the hit path
+    is a plain dict store (dict insertion order *is* FIFO order).  FIFO
+    evicts the insertion-order head; RANDOM draws the victim through the
+    cache's own per-set generators (``rngs``), consuming the exact random
+    stream the engine would — generator state after replay is identical.
+    """
+    set_mask = cache.geometry.num_sets - 1
+    ways = cache.geometry.ways
+    copy_back = cache.write_policy.is_copy_back
+    allocate = cache.write_policy.allocate_on_write
+
+    flag_of = [
+        FLAG_REFERENCED,
+        FLAG_REFERENCED | FLAG_DATA,
+        FLAG_REFERENCED | FLAG_DATA | (FLAG_DIRTY if copy_back else 0),
+        FLAG_REFERENCED,
+    ]
+
+    sets = [dict(resident) for resident in cache._sets]
+
+    refs = [0, 0, 0, 0]
+    misses = [0, 0, 0, 0]
+    demand = rpush = ppush = dirty = data = ddata = purges = 0
+
+    start = 0
+    total = len(kinds)
+    for stop, _position, tag in [*events, (total, -1, -1)]:
+        if stop > start:
+            for kind, line in zip(kinds[start:stop], lines[start:stop]):
+                refs[kind] += 1
+                resident = sets[line & set_mask]
+                flags = resident.get(line)
+                if flags is not None:
+                    resident[line] = flags | flag_of[kind]  # no reorder
+                else:
+                    misses[kind] += 1
+                    if kind == 2 and not allocate:
+                        continue
+                    demand += 1
+                    if len(resident) >= ways:
+                        if rngs is None:
+                            victim = next(iter(resident))
+                        else:
+                            keys = list(resident)
+                            rng = rngs[line & set_mask]
+                            victim = keys[int(rng.integers(len(keys)))]
+                        victim_flags = resident.pop(victim)
+                        rpush += 1
+                        if victim_flags & FLAG_DATA:
+                            data += 1
+                            if victim_flags & FLAG_DIRTY:
+                                ddata += 1
+                        if victim_flags & FLAG_DIRTY:
+                            dirty += 1
+                    resident[line] = flag_of[kind]
+            start = stop
+        if tag == _PURGE:
+            for resident in sets:
+                for victim_flags in resident.values():
+                    ppush += 1
+                    if victim_flags & FLAG_DATA:
+                        data += 1
+                        if victim_flags & FLAG_DIRTY:
+                            ddata += 1
+                    if victim_flags & FLAG_DIRTY:
+                        dirty += 1
+                resident.clear()
+            purges += 1
+            cache._last_write_word = -1
+        elif tag == _RESET:
+            refs = [0, 0, 0, 0]
+            misses = [0, 0, 0, 0]
+            demand = rpush = ppush = dirty = data = ddata = purges = 0
+            cache.reset_statistics()
+
+    stats = cache.stats
+    for kind, counts in enumerate(stats.counts_by_kind()):
+        counts.references += refs[kind]
+        counts.misses += misses[kind]
+    stats.demand_fetches += demand
+    stats.replacement_pushes += rpush
+    stats.purge_pushes += ppush
+    stats.dirty_pushes += dirty
+    stats.data_pushes += data
+    stats.dirty_data_pushes += ddata
+    stats.purges += purges
+
+    for target, resident in zip(cache._sets, sets):
+        target.clear()
+        target.update(resident)  # dict order is insertion (FIFO) order
+
+
 # -- the all-associativity one-pass kernel -----------------------------------
 
 
@@ -281,7 +950,9 @@ def all_associativity_hit_counts(
     At a fixed set count, a reference hits in a W-way LRU cache iff its
     stack distance *within its set* is at most W — so one pass computing
     per-set stack distances yields the whole associativity column at once.
-    The set mapping is the engine's bit selection (``line & (num_sets-1)``).
+    The set mapping is the engine's bit selection (``line & (num_sets-1)``),
+    and the distances come from the vectorized
+    :func:`~repro.core.stackdist.set_stack_distances` pass.
 
     Args:
         lines: expanded memory-line stream (one element per line reference,
@@ -312,99 +983,14 @@ def all_associativity_hit_counts(
     if total == 0:
         return np.zeros(max_ways + 1, dtype=np.int64), 0
 
-    reset_array = None
-    if resets is not None and len(resets):
-        reset_array = np.asarray(resets, dtype=np.int64)
-        reset_array = np.unique(reset_array[(reset_array > 0) & (reset_array < total)])
-        if not len(reset_array):
-            reset_array = None
-
+    distances = set_stack_distances(lines, num_sets, resets)
     # hist[d] counts references at (clipped) per-set stack distance d;
     # distances beyond max_ways share one miss bucket.
-    hist = np.zeros(max_ways + 2, dtype=np.int64)
-    if num_sets == 1:
-        _accumulate_set_distances(lines, reset_array, hist, max_ways)
-    else:
-        set_index = lines & (num_sets - 1)
-        order = np.argsort(set_index, kind="stable")
-        sorted_lines = lines[order]
-        bounds = np.concatenate([[0], np.cumsum(np.bincount(set_index, minlength=num_sets))])
-        for set_number in range(num_sets):
-            low, high = int(bounds[set_number]), int(bounds[set_number + 1])
-            if low == high:
-                continue
-            sub_resets = None
-            if reset_array is not None:
-                # order[low:high] are this set's global indices, ascending.
-                sub_resets = np.searchsorted(order[low:high], reset_array, side="left")
-            _accumulate_set_distances(sorted_lines[low:high], sub_resets, hist, max_ways)
-
+    miss_bucket = max_ways + 1
+    hist = np.bincount(
+        np.minimum(distances, miss_bucket), minlength=miss_bucket + 1
+    )
     return np.cumsum(hist)[: max_ways + 1], total
-
-
-#: Largest clip depth the move-to-front scan is used for.  Below it, the
-#: bounded stack (O(depth) worst case per reference, but O(mean stack
-#: depth) with real locality) beats the Fenwick pass (O(log n) always);
-#: beyond it, degenerate low-locality streams would make the scan the
-#: slower choice.
-_BOUNDED_DEPTH_LIMIT = 512
-
-
-def _accumulate_set_distances(
-    stream: np.ndarray,
-    resets: np.ndarray | None,
-    hist: np.ndarray,
-    max_ways: int,
-) -> None:
-    """Accumulate one set's clipped stack-distance histogram into ``hist``."""
-    length = len(stream)
-    boundaries = [0, length]
-    if resets is not None and len(resets):
-        interior = resets[(resets > 0) & (resets < length)]
-        boundaries = [0, *np.unique(interior).tolist(), length]
-    miss_bucket = max_ways + 1
-    for start, stop in zip(boundaries[:-1], boundaries[1:]):
-        segment = stream[start:stop]
-        # Consecutive repeats have stack distance exactly 1; strip them.
-        keep = np.empty(len(segment), dtype=bool)
-        keep[0] = True
-        np.not_equal(segment[1:], segment[:-1], out=keep[1:])
-        deduped = segment[keep]
-        hist[1] += len(segment) - len(deduped)
-        if max_ways <= _BOUNDED_DEPTH_LIMIT:
-            _bounded_stack_scan(deduped.tolist(), hist, max_ways)
-        else:
-            distances, _cold = _distances_fenwick(deduped)
-            if len(distances):
-                np.add.at(hist, np.minimum(distances, miss_bucket), 1)
-
-
-def _bounded_stack_scan(stream: list[int], hist: np.ndarray, max_ways: int) -> None:
-    """Clipped stack distances by scanning a bounded move-to-front list.
-
-    The list *is* the LRU stack (recency order, most recent first), kept
-    truncated to ``max_ways`` entries: a line deeper than that counts in
-    the miss bucket whether it is merely deep or evicted, which is exactly
-    the clipped histogram's definition, so truncation loses nothing.
-    """
-    counts = [0] * (max_ways + 2)  # plain list: scalar numpy stores are slow
-    stack: list[int] = []
-    index = stack.index
-    insert = stack.insert
-    pop = stack.pop
-    miss_bucket = max_ways + 1
-    for line in stream:
-        try:
-            depth = index(line)
-        except ValueError:
-            counts[miss_bucket] += 1
-            insert(0, line)
-            if len(stack) > max_ways:
-                pop()
-        else:
-            counts[depth + 1] += 1
-            insert(0, pop(depth))
-    hist += np.asarray(counts, dtype=np.int64)
 
 
 def associativity_miss_surface(

@@ -8,7 +8,12 @@ LRU standard sits to optimal on these workloads.
 
 MIN needs the whole future, so it is implemented as an offline pass over a
 materialized trace rather than as a
-:class:`~repro.core.replacement.ReplacementPolicy` plug-in.
+:class:`~repro.core.replacement.ReplacementPolicy` plug-in.  The next-use
+precompute is one stable sort over the stream (vectorized); only the
+eviction decisions themselves remain a per-reference heap loop.  Set
+associativity is supported by running that loop per set over the
+set-partitioned stream — the sets are independent, so the sum of per-set
+MIN misses is the set-associative optimum.
 """
 
 from __future__ import annotations
@@ -19,54 +24,89 @@ import numpy as np
 
 from ..trace.record import AccessKind
 from ..trace.stream import Trace
+from .stackdist import _stable_order
 
 __all__ = ["belady_min_misses", "belady_miss_ratio"]
 
+_NEVER = np.iinfo(np.int64).max
 
-def belady_min_misses(line_stream: np.ndarray, capacity_lines: int) -> int:
-    """Misses of an optimally managed fully associative cache.
+
+def _next_use(lines: np.ndarray) -> np.ndarray:
+    """``next_use[t]`` = index of the next reference to ``lines[t]``, else
+    a never-again sentinel.  One stable sort: equal lines land adjacent in
+    time order, so each element's successor within its run is its next use.
+    """
+    n = len(lines)
+    next_use = np.full(n, _NEVER, dtype=np.int64)
+    if n < 2:
+        return next_use
+    order = _stable_order(lines)
+    ordered = lines[order]
+    same = np.flatnonzero(ordered[1:] == ordered[:-1])
+    next_use[order[same]] = order[same + 1]
+    return next_use
+
+
+def belady_min_misses(
+    line_stream: np.ndarray, capacity_lines: int, num_sets: int = 1
+) -> int:
+    """Misses of an optimally managed cache (demand fetch).
 
     Args:
         line_stream: integer array of memory line numbers, in reference
             order.
-        capacity_lines: cache capacity in lines.
+        capacity_lines: total cache capacity in lines.
+        num_sets: number of sets (power of two; 1 = fully associative).
+            A line maps to set ``line & (num_sets - 1)`` — the same
+            bit-selection mapping as :class:`~repro.core.cache.Cache` —
+            and each set manages its ``capacity_lines / num_sets`` ways
+            optimally and independently.
 
     Returns:
-        The number of misses under Belady's MIN (demand fetch).
+        The number of misses under Belady's MIN.
 
     Raises:
-        ValueError: if ``capacity_lines`` is not positive.
+        ValueError: if ``capacity_lines`` is not positive, ``num_sets`` is
+            not a positive power of two, or the sets do not divide the
+            capacity evenly.
     """
     if capacity_lines <= 0:
         raise ValueError(f"capacity_lines must be positive, got {capacity_lines}")
-    lines = np.asarray(line_stream)
-    total = len(lines)
-    if total == 0:
+    if num_sets <= 0 or num_sets & (num_sets - 1):
+        raise ValueError(f"num_sets must be a positive power of two, got {num_sets}")
+    if capacity_lines % num_sets:
+        raise ValueError(
+            f"num_sets {num_sets} does not divide {capacity_lines} capacity lines"
+        )
+    lines = np.asarray(line_stream, dtype=np.int64)
+    if len(lines) == 0:
         return 0
+    ways = capacity_lines // num_sets
+    if num_sets == 1:
+        return _min_misses_one_set(lines, _next_use(lines), ways)
+    order = _stable_order(lines & (num_sets - 1))
+    grouped = lines[order]
+    boundaries = np.flatnonzero(np.diff(grouped & (num_sets - 1))) + 1
+    misses = 0
+    for sub in np.split(grouped, boundaries):
+        misses += _min_misses_one_set(sub, _next_use(sub), ways)
+    return misses
 
-    # next_use[t] = index of the next reference to lines[t], or +inf.
-    next_use = np.full(total, np.iinfo(np.int64).max, dtype=np.int64)
-    last_position: dict[int, int] = {}
-    for t in range(total - 1, -1, -1):
-        line = int(lines[t])
-        if line in last_position:
-            next_use[t] = last_position[line]
-        last_position[line] = t
 
+def _min_misses_one_set(stream: np.ndarray, next_use: np.ndarray, ways: int) -> int:
     resident: dict[int, int] = {}  # line -> its next-use time
     # Max-heap of (-next_use, line) with lazy invalidation.
     heap: list[tuple[int, int]] = []
     misses = 0
-    stream = lines.tolist()
     future = next_use.tolist()
-    for t, line in enumerate(stream):
+    for t, line in enumerate(stream.tolist()):
         when = future[t]
         if line in resident:
             resident[line] = when
             heapq.heappush(heap, (-when, line))
             continue
         misses += 1
-        if len(resident) >= capacity_lines:
+        if len(resident) >= ways:
             # Evict the resident line used farthest in the future.
             while True:
                 negative_when, victim = heapq.heappop(heap)
@@ -83,6 +123,7 @@ def belady_miss_ratio(
     capacity: int,
     line_size: int = 16,
     kinds: list[AccessKind] | None = None,
+    associativity: int | None = None,
 ) -> float:
     """Offline-optimal miss ratio for one cache size.
 
@@ -94,22 +135,40 @@ def belady_miss_ratio(
         line_size: line size in bytes.
         kinds: optional kind filter (as in
             :func:`repro.core.stackdist.lru_miss_ratio_curve`).
+        associativity: ways per set (None = fully associative).  Must
+            divide the capacity in lines into a power-of-two set count.
+
+    Returns:
+        The MIN miss ratio, or NaN for an empty (or fully filtered-out)
+        stream — the same convention as
+        :meth:`~repro.core.stackdist.StackDistanceProfile.miss_ratio`.
 
     Raises:
         ValueError: if the capacity is not a positive multiple of the line
-            size.
+            size, or the associativity does not yield a power-of-two set
+            count.
     """
     if capacity <= 0 or capacity % line_size:
         raise ValueError(
             f"capacity must be a positive multiple of line_size={line_size}"
         )
+    capacity_lines = capacity // line_size
+    if associativity is None:
+        num_sets = 1
+    else:
+        if associativity <= 0 or capacity_lines % associativity:
+            raise ValueError(
+                f"associativity {associativity} does not divide "
+                f"{capacity_lines} capacity lines"
+            )
+        num_sets = capacity_lines // associativity
     if kinds is not None:
         mask = np.isin(trace.kinds, [int(k) for k in kinds])
         addresses = trace.addresses[mask]
     else:
         addresses = trace.addresses
     if len(addresses) == 0:
-        return 0.0
+        return float("nan")
     lines = addresses // line_size
-    misses = belady_min_misses(lines, capacity // line_size)
+    misses = belady_min_misses(lines, capacity_lines, num_sets)
     return misses / len(lines)

@@ -122,8 +122,8 @@ def simulate(
     if engine == "kernel":
         raise ValueError(
             "organization does not qualify for the specialized replay kernel "
-            "(requires LRU, demand fetch, no write combining; see "
-            "repro.core.kernels.can_replay)"
+            "(requires LRU, FIFO or random replacement, demand fetch, no "
+            "write combining; see repro.core.kernels.can_replay)"
         )
 
     length = len(trace) if limit is None else min(limit, len(trace))

@@ -1,4 +1,4 @@
-"""LRU stack-distance analysis (Mattson's one-pass algorithm).
+"""LRU stack-distance analysis (Mattson's one-pass algorithm), vectorized.
 
 The paper's Table 1 sweeps a fully associative LRU cache across twelve
 sizes for 57 traces.  The classic way to run such a sweep — then and now —
@@ -9,10 +9,24 @@ reference's **stack distance** (its position in the LRU stack, counted from
 the top) yields the miss ratio for *every* cache size at once: a reference
 hits in a cache of C lines iff its stack distance is at most C.
 
-The implementation computes distances with a Fenwick tree over reference
-positions, after first removing consecutive repeats (which have stack
-distance 1 and carry no other information); with real program locality this
-shrinks the stream severalfold.
+Distances are computed by whole-array passes rather than a per-reference
+loop.  The reduction: with ``p[t]`` the index of the previous reference to
+line ``t`` (−1 if none), the stack distance is
+
+    sd(t) = t − p[t] − #{v < t : p[v] > p[t]}
+
+because every duplicate inside the reuse window ``(p[t], t)`` is a
+reference ``v`` whose own previous occurrence also lies inside the window,
+i.e. ``p[v] > p[t]`` (and ``p[v] < v`` always, so the window constraint
+reduces to ``v < t``).  That turns distance computation into per-element
+*left-inversion counting* over the ``p`` array, which
+:func:`_count_left_greater` performs with a bottom-up blocked merge: at
+each level the stream is sorted within blocks (one packed-key ``np.sort``)
+and a boolean-marker prefix sum counts, for every right-half element, the
+left-half elements exceeding it.  O(n log² n) total, all array ops.
+
+The old pure-Python Fenwick pass (:func:`_distances_fenwick`) is kept as
+the reference implementation for equivalence tests.
 """
 
 from __future__ import annotations
@@ -24,7 +38,21 @@ import numpy as np
 from ..trace.record import AccessKind
 from ..trace.stream import Trace
 
-__all__ = ["StackDistanceProfile", "lru_stack_distances", "lru_miss_ratio_curve"]
+__all__ = [
+    "COLD_DISTANCE",
+    "StackDistanceProfile",
+    "set_stack_distances",
+    "lru_stack_distances",
+    "lru_miss_ratio_curve",
+]
+
+#: Sentinel distance for a cold (first-touch) reference; larger than any
+#: real capacity, so cold references miss at every finite size.
+COLD_DISTANCE = np.int64(2) ** 62
+
+#: Block width folded into one broadcast pass before the merge levels
+#: start (covers levels 1, 2, 4 and 8 of the bottom-up merge).
+_BRUTE = 16
 
 
 @dataclass(frozen=True, slots=True)
@@ -63,18 +91,261 @@ class StackDistanceProfile:
         return int(self._cumulative_hits()[top])
 
     def miss_ratio(self, capacity_lines: int) -> float:
-        """Miss ratio of a fully associative LRU cache of that many lines."""
+        """Miss ratio of a fully associative LRU cache of that many lines.
+
+        An empty stream has no well-defined miss ratio and yields NaN (a
+        0.0 here would let an all-filtered-out stream masquerade as a
+        perfect hit rate in campaign tables).
+        """
         if self.total_references == 0:
-            return 0.0
+            return float("nan")
         return 1.0 - self.hits(capacity_lines) / self.total_references
 
     def miss_ratios(self, capacities_lines: list[int] | np.ndarray) -> np.ndarray:
-        """Vector of miss ratios for several capacities (in lines)."""
+        """Vector of miss ratios for several capacities (in lines).
+
+        NaN for every capacity when the stream is empty, matching
+        :meth:`miss_ratio`.
+        """
         if self.total_references == 0:
-            return np.zeros(len(capacities_lines))
+            return np.full(len(capacities_lines), np.nan)
         cumulative = self._cumulative_hits()
         caps = np.clip(np.asarray(capacities_lines), 0, len(self.counts) - 1)
         return 1.0 - cumulative[caps] / self.total_references
+
+
+# -- vectorized distance machinery -------------------------------------------
+
+
+def _stable_order(values: np.ndarray) -> np.ndarray:
+    """Indices that stable-sort ``values`` (ascending).
+
+    When the value range permits, the sort runs on packed
+    ``value * n + index`` keys — a single ``np.sort`` over int64, which is
+    several times faster than ``np.argsort(kind="stable")``.
+    """
+    n = len(values)
+    if n <= 1:
+        return np.arange(n, dtype=np.int64)
+    bits = (n - 1).bit_length() + 1
+    values = np.asarray(values, dtype=np.int64)
+    if values[0] >= 0 and int(values.max()) < (1 << (62 - bits)):
+        # values[0] >= 0 is a cheap proxy; verify with the true minimum
+        # only when it passes (sorted/grouped inputs make it usually right).
+        if int(values.min()) >= 0:
+            keys = (values << bits) | np.arange(n, dtype=np.int64)
+            keys.sort()
+            return keys & ((1 << bits) - 1)
+    return np.argsort(values, kind="stable")
+
+
+def _prev_occurrence(
+    values: np.ndarray, epochs: np.ndarray | None = None
+) -> np.ndarray:
+    """Index of the previous element with the same value, else −1.
+
+    With ``epochs`` (non-decreasing within each value's subsequence), a
+    previous occurrence from an earlier epoch is treated as absent —
+    modelling a purge between the two references.
+    """
+    n = len(values)
+    prev = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return prev
+    order = _stable_order(values)
+    ordered = values[order]
+    same = np.empty(n, dtype=bool)
+    same[0] = False
+    np.equal(ordered[1:], ordered[:-1], out=same[1:])
+    hit = np.flatnonzero(same)
+    prev[order[hit]] = order[hit - 1]
+    if epochs is not None:
+        stale = epochs[np.maximum(prev, 0)] != epochs
+        stale &= prev >= 0
+        prev[stale] = -1
+    return prev
+
+
+def _count_left_greater(p: np.ndarray) -> np.ndarray:
+    """``counts[t] = #{v < t : p[v] > p[t]}`` for values ≥ −2.
+
+    Bottom-up blocked merge with the running count packed into the low
+    bits of the sort key, so each level is one in-place block sort plus a
+    boolean-marker prefix sum — no per-level scatter.  Ties occur only at
+    −1/−2 (previous-occurrence arrays are injective elsewhere) and never
+    contribute to a strict *greater* count, so the deterministic index
+    tie-break is harmless.
+    """
+    n = len(p)
+    if n <= 1:
+        return np.zeros(n, dtype=np.int64)
+    bits = (n - 1).bit_length()
+    m = 1 << bits
+    if 3 * bits + 2 > 63:
+        return _count_left_greater_wide(p)
+    # key = (value + 2) << 2b  |  index << b  |  running count
+    keys = np.zeros(m, dtype=np.int64)
+    keys[:n] = (np.asarray(p, dtype=np.int64) + 2) << (2 * bits)
+    keys += np.arange(m, dtype=np.int64) << bits
+
+    if m >= _BRUTE:
+        block = (keys >> (2 * bits)).reshape(-1, _BRUTE)
+        greater_prefix = (block[:, :, None] > block[:, None, :]).cumsum(axis=1)
+        j = np.arange(_BRUTE)
+        within = np.where(j > 0, greater_prefix[:, j - 1, j], 0)
+        keys += within.reshape(-1)
+        half = _BRUTE
+    else:
+        half = 1
+
+    left_prefix = np.empty(m, dtype=np.int64)
+    index_lane = np.int64((m - 1) << bits)
+    while half < m:
+        wide = 2 * half
+        keys.reshape(-1, wide).sort(axis=1)
+        on_right = keys & np.int64(half << bits)  # index bit `half`: 0 or set
+        np.cumsum(on_right == 0, out=left_prefix)
+        base = np.repeat(
+            np.concatenate([[np.int64(0)], left_prefix[wide - 1 :: wide][:-1]]), wide
+        )
+        # Right-half elements gain (left-half elements above them in the
+        # block) = half − (left elements at or below them).
+        np.subtract(base, left_prefix, out=base)
+        base += half
+        base[on_right == 0] = 0
+        keys += base
+        half = wide
+
+    counts = np.empty(n, dtype=np.int64)
+    position = (keys & index_lane) >> bits
+    keep = position < n
+    counts[position[keep]] = keys[keep] & np.int64(m - 1)
+    return counts
+
+
+def _count_left_greater_wide(p: np.ndarray) -> np.ndarray:
+    """Fallback for streams too long to pack value, index and count into
+    one int64 key (beyond ~2²⁰ elements): same blocked merge, with the
+    per-level counts scattered instead of carried."""
+    n = len(p)
+    counts = np.zeros(n, dtype=np.int64)
+    bits = (n - 1).bit_length()
+    m = 1 << bits
+    keys = np.zeros(m, dtype=np.int64)
+    keys[:n] = (np.asarray(p, dtype=np.int64) + 2) << bits
+    keys += np.arange(m, dtype=np.int64)
+    index_lane = np.int64(m - 1)
+
+    if m >= _BRUTE:
+        block = (keys >> bits).reshape(-1, _BRUTE)
+        greater_prefix = (block[:, :, None] > block[:, None, :]).cumsum(axis=1)
+        j = np.arange(_BRUTE)
+        within = np.where(j > 0, greater_prefix[:, j - 1, j], 0)
+        counts += within.reshape(-1)[:n]
+        half = _BRUTE
+    else:
+        half = 1
+
+    left_prefix = np.empty(m, dtype=np.int64)
+    while half < m:
+        wide = 2 * half
+        keys.reshape(-1, wide).sort(axis=1)
+        position = keys & index_lane
+        on_right = (position & half) != 0
+        np.cumsum(~on_right, out=left_prefix)
+        base = np.repeat(
+            np.concatenate([[np.int64(0)], left_prefix[wide - 1 :: wide][:-1]]), wide
+        )
+        valid = on_right & (position < n)
+        counts[position[valid]] += half - (left_prefix[valid] - base[valid])
+        half = wide
+    return counts
+
+
+def _stack_distances_ordered(
+    values: np.ndarray, epochs: np.ndarray | None = None
+) -> np.ndarray:
+    """Per-element LRU stack distances of an ordered stream.
+
+    ``values`` may be a concatenation of per-set substreams (each in time
+    order; a value must always map to the same substream).  ``epochs``,
+    non-decreasing within each substream, marks purge generations: a reuse
+    across an epoch boundary is cold.  Consecutive repeats have distance
+    1; cold references get :data:`COLD_DISTANCE`.
+    """
+    n = len(values)
+    out = np.ones(n, dtype=np.int64)
+    if n == 0:
+        return out
+    keep = np.empty(n, dtype=bool)
+    keep[0] = True
+    np.not_equal(values[1:], values[:-1], out=keep[1:])
+    if epochs is not None:
+        keep[1:] |= epochs[1:] != epochs[:-1]
+    deduped = values[keep]
+    prev = _prev_occurrence(deduped, epochs[keep] if epochs is not None else None)
+    cold = prev < 0
+    distances = np.arange(len(deduped), dtype=np.int64) - prev
+    distances -= _count_left_greater(prev)
+    distances[cold] = COLD_DISTANCE
+    out[keep] = distances
+    return out
+
+
+def _epochs_from_resets(n: int, resets: np.ndarray | None) -> np.ndarray | None:
+    """Per-element epoch numbers from sorted reset indices (or None)."""
+    if resets is None or not len(resets):
+        return None
+    interior = np.asarray(resets, dtype=np.int64)
+    interior = np.unique(interior[(interior > 0) & (interior < n)])
+    if not len(interior):
+        return None
+    lengths = np.diff(np.concatenate([[0], interior, [n]]))
+    return np.repeat(np.arange(len(lengths), dtype=np.int64), lengths)
+
+
+def set_stack_distances(
+    lines: np.ndarray,
+    num_sets: int = 1,
+    resets: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-reference LRU stack distances within each line's set.
+
+    Element *t* of the result is the stack distance of ``lines[t]`` in the
+    LRU stack of its set (``lines[t] & (num_sets - 1)``), or
+    :data:`COLD_DISTANCE` for a first touch.  A reference hits in a
+    ``num_sets × W`` LRU demand cache iff its distance is ≤ W — the same
+    inclusion-property reading the profile-based sweeps use, kept aligned
+    with the stream instead of histogrammed.
+
+    Args:
+        lines: int64 memory-line stream (e.g. ``trace.compiled(16).lines``).
+        num_sets: positive power-of-two set count.
+        resets: optional sorted indices at which every set's stack is
+            purged before the reference at that index.
+
+    Returns:
+        int64 array of distances, aligned with ``lines``.
+
+    Raises:
+        ValueError: if ``num_sets`` is not a positive power of two.
+    """
+    if num_sets <= 0 or num_sets & (num_sets - 1):
+        raise ValueError(f"num_sets must be a positive power of two, got {num_sets}")
+    lines = np.asarray(lines, dtype=np.int64)
+    n = len(lines)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    epochs = _epochs_from_resets(n, resets)
+    if num_sets == 1:
+        return _stack_distances_ordered(lines, epochs)
+    order = _stable_order(lines & (num_sets - 1))
+    ordered = _stack_distances_ordered(
+        lines[order], epochs[order] if epochs is not None else None
+    )
+    out = np.empty(n, dtype=np.int64)
+    out[order] = ordered
+    return out
 
 
 def lru_stack_distances(
@@ -94,55 +365,31 @@ def lru_stack_distances(
     Returns:
         The :class:`StackDistanceProfile` of the stream.
     """
-    lines = np.asarray(line_stream)
+    lines = np.asarray(line_stream, dtype=np.int64)
     total = len(lines)
     if total == 0:
         return StackDistanceProfile(np.zeros(1, dtype=np.int64), 0, 0)
+    distances = set_stack_distances(lines, 1, resets)
+    cold_total = int(np.count_nonzero(distances == COLD_DISTANCE))
+    finite = distances[distances != COLD_DISTANCE]
+    counts = np.bincount(finite, minlength=2).astype(np.int64, copy=False)
+    return StackDistanceProfile(counts, cold_total, total)
 
-    boundaries = [0, total]
-    if resets is not None and len(resets):
-        interior = np.asarray(resets, dtype=np.int64)
-        interior = interior[(interior > 0) & (interior < total)]
-        boundaries = [0, *np.unique(interior).tolist(), total]
 
-    # Collect per-segment distance arrays and merge once at the end — a
-    # heavily purged stream has many segments, and growing the histogram
-    # with np.concatenate per segment was O(segments x max_distance).
-    segment_distances: list[np.ndarray] = []
-    repeat_total = 0
-    cold_total = 0
-    for start, stop in zip(boundaries[:-1], boundaries[1:]):
-        segment = lines[start:stop]
-        # Consecutive repeats have stack distance exactly 1; strip them.
-        keep = np.empty(len(segment), dtype=bool)
-        keep[0] = True
-        np.not_equal(segment[1:], segment[:-1], out=keep[1:])
-        deduped = segment[keep]
-        repeat_total += len(segment) - len(deduped)
-
-        distances, cold = _distances_fenwick(deduped)
-        cold_total += cold
-        if len(distances):
-            segment_distances.append(distances)
-
-    merged = (
-        np.concatenate(segment_distances)
-        if segment_distances
-        else np.empty(0, dtype=np.int64)
-    )
-    all_counts = np.bincount(merged, minlength=2).astype(np.int64, copy=False)
-    all_counts[1] += repeat_total
-    return StackDistanceProfile(all_counts, cold_total, total)
+# -- reference implementation (kept for equivalence tests) --------------------
 
 
 def _distances_fenwick(stream: np.ndarray) -> tuple[np.ndarray, int]:
     """Stack distances of the non-cold references of ``stream``.
 
-    Returns ``(distances, cold_count)`` where distances are 1-based stack
-    positions.  Uses a Fenwick (binary indexed) tree that marks, for every
-    line, the position of its most recent reference; the number of marks
-    strictly between a line's previous and current positions is the number
-    of distinct lines touched in between.
+    The original per-reference pass: a Fenwick (binary indexed) tree marks,
+    for every line, the position of its most recent reference; the number
+    of marks strictly between a line's previous and current positions is
+    the number of distinct lines touched in between.  Superseded by the
+    array passes above; kept as the independently-derived reference the
+    equivalence tests compare against.
+
+    Returns ``(distances, cold_count)`` with 1-based stack positions.
     """
     n = len(stream)
     tree = [0] * (n + 1)
@@ -208,7 +455,9 @@ def lru_miss_ratio_curve(
             unified experiment's.
 
     Returns:
-        Array of miss ratios aligned with ``capacities``.
+        Array of miss ratios aligned with ``capacities`` (NaN throughout if
+        the filtered stream is empty — see
+        :meth:`StackDistanceProfile.miss_ratios`).
 
     Raises:
         ValueError: if any capacity is not a positive multiple of the line
@@ -224,8 +473,18 @@ def lru_miss_ratio_curve(
     if purge_interval is not None and purge_interval <= 0:
         raise ValueError(f"purge_interval must be positive, got {purge_interval}")
     # The compiled view memoizes the expanded (line, kind, position) arrays
-    # per line size, so repeated sweeps over one trace share the expansion.
+    # per line size — and the finished profile per (kinds, purge) — so
+    # repeated sweeps over one trace do the distance pass only once.
     compiled = trace.compiled(line_size)
+    kind_key = None if kinds is None else tuple(sorted(int(k) for k in kinds))
+    profile = compiled.memo(
+        ("stack-profile", kind_key, purge_interval),
+        lambda: _curve_profile(compiled, kinds, purge_interval),
+    )
+    return profile.miss_ratios(capacities // line_size)
+
+
+def _curve_profile(compiled, kinds, purge_interval) -> StackDistanceProfile:
     if kinds is not None:
         mask = np.isin(compiled.kinds, [int(k) for k in kinds])
         lines = compiled.lines[mask]
@@ -241,7 +500,4 @@ def lru_miss_ratio_curve(
         # Reset before the first reference of each new purge epoch.
         epoch = positions // purge_interval
         resets = np.nonzero(np.diff(epoch) > 0)[0] + 1
-    profile = lru_stack_distances(lines, resets)
-    return profile.miss_ratios(capacities // line_size)
-
-
+    return lru_stack_distances(lines, resets)

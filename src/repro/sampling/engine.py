@@ -45,7 +45,7 @@ import numpy as np
 from ..core.jobs import AssociativitySweepJob, SimulateJob, StackSweepJob
 from ..core.kernels import all_associativity_hit_counts
 from ..core.simulator import simulate
-from ..core.stackdist import _prefix, _update
+from ..core.stackdist import COLD_DISTANCE, set_stack_distances
 from ..trace.stream import Trace
 from .estimators import Estimate, SampledValue, SamplingInfo, ratio_estimates
 from .plans import IntervalSampling, SamplingPlan, SelectedIntervals, SetSampling, select_intervals, select_set_classes
@@ -61,7 +61,7 @@ __all__ = [
 
 #: Sentinel distance for a cold (first-touch) reference; larger than any
 #: real capacity, so cold references count as misses at every size.
-_COLD = np.int64(2) ** 62
+_COLD = COLD_DISTANCE
 
 #: Absolute floor under which a miss ratio is "small enough": the
 #: calibration budget compares CI half-widths against
@@ -73,47 +73,16 @@ _BUDGET_FLOOR = 1e-3
 # -- exact per-reference stack distances -------------------------------------
 
 
-def _chunk_distances(chunk: np.ndarray) -> np.ndarray:
-    """Per-reference LRU stack distances of one purge-free chunk.
+def _segment_distances(segment: np.ndarray, resets: np.ndarray | None) -> np.ndarray:
+    """Per-reference LRU stack distances of one sampled segment.
 
     Consecutive repeats are distance 1; cold references get the
-    :data:`_COLD` sentinel.  Same Fenwick pass as
-    :func:`repro.core.stackdist._distances_fenwick`, kept aligned with
-    the chunk instead of histogrammed.
+    :data:`_COLD` sentinel; ``resets`` marks purge points.  Delegates to
+    the vectorized machinery of :mod:`repro.core.stackdist`, so sampled
+    windows take the same array passes as full sweeps instead of the old
+    per-reference Fenwick loop.
     """
-    n = len(chunk)
-    out = np.ones(n, dtype=np.int64)
-    if n == 0:
-        return out
-    keep = np.empty(n, dtype=bool)
-    keep[0] = True
-    np.not_equal(chunk[1:], chunk[:-1], out=keep[1:])
-    deduped = chunk[keep]
-    distances = np.empty(len(deduped), dtype=np.int64)
-    tree = [0] * (len(deduped) + 1)
-    last_seen: dict[int, int] = {}
-    for t, line in enumerate(deduped.tolist()):
-        prev = last_seen.get(line)
-        if prev is None:
-            distances[t] = _COLD
-        else:
-            distances[t] = _prefix(tree, t) - _prefix(tree, prev + 1) + 1
-            _update(tree, prev + 1, -1)
-        _update(tree, t + 1, 1)
-        last_seen[line] = t
-    out[keep] = distances
-    return out
-
-
-def _segment_distances(segment: np.ndarray, resets: np.ndarray | None) -> np.ndarray:
-    """Per-reference distances of a segment with optional purge resets."""
-    if resets is None or not len(resets):
-        return _chunk_distances(segment)
-    out = np.empty(len(segment), dtype=np.int64)
-    boundaries = [0, *resets.tolist(), len(segment)]
-    for start, stop in zip(boundaries[:-1], boundaries[1:]):
-        out[start:stop] = _chunk_distances(segment[start:stop])
-    return out
+    return set_stack_distances(segment, 1, resets)
 
 
 def _miss_counts(distances: np.ndarray, capacities_lines: np.ndarray) -> np.ndarray:
@@ -164,9 +133,11 @@ def sampled_stack_sweep(
     total = len(trace)
     selection = select_intervals(plan, total, trace)
     if not selection.intervals:
-        estimates = tuple(Estimate(0.0, 0.0, 0.0, plan.confidence) for _ in caps_lines)
+        # No sampled references: the miss ratio is unknown, not perfect.
+        nan = float("nan")
+        estimates = tuple(Estimate(nan, nan, nan, plan.confidence) for _ in caps_lines)
         return SampledValue(
-            tuple(0.0 for _ in caps_lines),
+            tuple(nan for _ in caps_lines),
             _interval_info(plan, selection, 0, 0, total, estimates),
         )
 
@@ -432,7 +403,7 @@ def _set_sampled_surface(
             # kept classes would not be whole sets, so compute exactly.
             hits, total = all_associativity_hit_counts(lines, num_sets, max_way)
             for i, j, way in cells:
-                value = (total - int(hits[way])) / total if total else 0.0
+                value = (total - int(hits[way])) / total if total else float("nan")
                 estimates[i * cols + j] = Estimate(value, value, value, plan.confidence)
             continue
         # Exact per-class hit counts; classes are unions of whole sets.
@@ -577,6 +548,7 @@ def sampled_simulate(
                 trace[iv.start : iv.stop],
                 organization,
                 purge_interval=job.purge_interval,
+                engine=job.engine,
             )
         else:
             warm_start = max(0, iv.start - warm)
@@ -585,6 +557,7 @@ def sampled_simulate(
                 job.build_organization(),
                 purge_interval=job.purge_interval,
                 warmup=iv.start - warm_start,
+                engine=job.engine,
             )
         measured += iv.stop - iv.start
         replayed += iv.stop - warm_start

@@ -190,8 +190,8 @@ def ratio_estimates(
     Returns:
         One :class:`Estimate` per metric column.  Units with zero
         denominator contribute nothing (a zero-reference stratum simply
-        carries no weight); if *every* unit is empty the estimate is an
-        exact zero.
+        carries no weight); if *every* unit is empty the estimate is NaN —
+        an unobserved ratio is unknown, not zero.
     """
     numerators = np.asarray(numerators, dtype=float)
     if numerators.ndim == 1:
@@ -214,8 +214,10 @@ def ratio_estimates(
     total_num = weighted_num.sum(axis=0)
     total_den = float(weighted_den.sum())
     if total_den <= 0:
-        zero = Estimate(0.0, 0.0, 0.0, confidence)
-        return [zero] * metrics
+        # A ratio with no observed denominator is unknown, not zero (the
+        # same NaN convention as StackDistanceProfile.miss_ratio).
+        nan = float("nan")
+        return [Estimate(nan, nan, nan, confidence)] * metrics
     values = total_num / total_den
 
     if bootstrap > 0 and units > 1:

@@ -9,7 +9,14 @@ Two on-disk formats are provided:
 * a **binary format** (``.rtrc``): a fixed header plus three packed numpy
   arrays, for fast replay of long traces.
 
-Both round-trip losslessly through :class:`repro.trace.stream.Trace`.
+The binary format is versioned.  Version 2 (the default on write) pads each
+array section to an 8-byte boundary so the file can be memory-mapped
+directly: ``read_binary_trace(path, mmap=True)`` returns a trace whose
+arrays are read-only views of the file, letting many campaign workers share
+one on-disk copy instead of materializing the arrays per process.  Version 1
+files (unaligned, eager-load only) are still read.
+
+Both formats round-trip losslessly through :class:`repro.trace.stream.Trace`.
 """
 
 from __future__ import annotations
@@ -36,8 +43,13 @@ __all__ = [
 ]
 
 _MAGIC = b"RTRC"
-_VERSION = 1
+_VERSION = 2
 _HEADER = struct.Struct("<4sHHQI")  # magic, version, reserved, count, meta length
+_ALIGN = 8
+
+_KIND_DTYPE = np.dtype("<i1")
+_ADDRESS_DTYPE = np.dtype("<i8")
+_SIZE_DTYPE = np.dtype("<i4")
 
 
 def write_text_trace(trace: Trace, destination: str | Path | IO[str]) -> None:
@@ -65,8 +77,13 @@ def read_text_trace(source: str | Path | IO[str]) -> Trace:
     Plain dinero traces (no header, optional size column) are accepted too;
     missing sizes default to 4 bytes.
 
+    Each field is validated as it is parsed, so a bad record is reported
+    with its line number rather than surfacing later as a whole-trace
+    validation error.
+
     Raises:
-        ValueError: on malformed lines.
+        ValueError: on malformed lines, negative addresses, or
+            non-positive sizes.
     """
     own, stream = _open_text(source, "r")
     try:
@@ -92,6 +109,10 @@ def read_text_trace(source: str | Path | IO[str]) -> Trace:
                 size = int(fields[2]) if len(fields) == 3 else 4
             except ValueError as exc:
                 raise ValueError(f"line {lineno}: {exc}") from None
+            if address < 0:
+                raise ValueError(f"line {lineno}: address must be non-negative, got {fields[1]}")
+            if size <= 0:
+                raise ValueError(f"line {lineno}: size must be positive, got {size}")
             kinds.append(kind)
             addresses.append(address)
             sizes.append(size)
@@ -102,27 +123,53 @@ def read_text_trace(source: str | Path | IO[str]) -> Trace:
 
 
 def write_binary_trace(trace: Trace, destination: str | Path | IO[bytes]) -> None:
-    """Write ``trace`` in the compact binary ``.rtrc`` format."""
+    """Write ``trace`` in the compact binary ``.rtrc`` format (version 2).
+
+    Each array section starts on an 8-byte boundary (zero padding between
+    sections) so the file is directly memory-mappable; see
+    :func:`read_binary_trace`.
+    """
     own, stream = _open_binary(destination, "wb")
     try:
         meta = json.dumps(asdict(trace.metadata), sort_keys=True).encode("utf-8")
-        stream.write(_HEADER.pack(_MAGIC, _VERSION, 0, len(trace), len(meta)))
+        count = len(trace)
+        stream.write(_HEADER.pack(_MAGIC, _VERSION, 0, count, len(meta)))
         stream.write(meta)
-        stream.write(trace.kinds.astype("<i1").tobytes())
-        stream.write(trace.addresses.astype("<i8").tobytes())
-        stream.write(trace.sizes.astype("<i4").tobytes())
+        offset = _HEADER.size + len(meta)
+        for array, dtype in (
+            (trace.kinds, _KIND_DTYPE),
+            (trace.addresses, _ADDRESS_DTYPE),
+            (trace.sizes, _SIZE_DTYPE),
+        ):
+            pad = -offset % _ALIGN
+            stream.write(b"\0" * pad)
+            payload = array.astype(dtype, copy=False).tobytes()
+            stream.write(payload)
+            offset += pad + len(payload)
     finally:
         if own:
             stream.close()
 
 
-def read_binary_trace(source: str | Path | IO[bytes]) -> Trace:
+def read_binary_trace(source: str | Path | IO[bytes], *, mmap: bool = False) -> Trace:
     """Read a trace written by :func:`write_binary_trace`.
 
+    Args:
+        source: path or readable binary stream.
+        mmap: map the array sections with :class:`numpy.memmap` instead of
+            copying them into memory.  The trace then borrows read-only
+            views of the file — multiple processes mapping the same path
+            share one physical copy.  Requires a path (not a stream) and a
+            version-2 file, whose sections are 8-byte aligned.
+
     Raises:
-        ValueError: if the header is missing, the version is unsupported, or
-            the file is truncated.
+        ValueError: if the header is missing, the version is unsupported,
+            the declared reference count exceeds the file size, or the file
+            is truncated; also for ``mmap=True`` with a stream source or a
+            version-1 file.
     """
+    if mmap and not isinstance(source, (str, Path)):
+        raise ValueError("mmap=True requires a file path, not a stream")
     own, stream = _open_binary(source, "rb")
     try:
         header = stream.read(_HEADER.size)
@@ -131,15 +178,36 @@ def read_binary_trace(source: str | Path | IO[bytes]) -> Trace:
         magic, version, _reserved, count, meta_len = _HEADER.unpack(header)
         if magic != _MAGIC:
             raise ValueError(f"not a binary trace file (magic {magic!r})")
-        if version != _VERSION:
+        if version not in (1, _VERSION):
             raise ValueError(f"unsupported trace file version {version}")
+        # Bound the declared count by the bytes actually present before any
+        # array is materialized, so a corrupt header fails fast instead of
+        # attempting a huge read.
+        remaining = _remaining_bytes(stream)
+        if remaining is not None and remaining < meta_len + _payload_bytes(version, count, meta_len):
+            if remaining < meta_len:
+                raise ValueError("truncated trace file: short metadata")
+            raise ValueError("truncated trace file: short array section")
         meta_raw = stream.read(meta_len)
         if len(meta_raw) != meta_len:
             raise ValueError("truncated trace file: short metadata")
         metadata = TraceMetadata(**json.loads(meta_raw.decode("utf-8")))
-        kinds = _read_array(stream, "<i1", count)
-        addresses = _read_array(stream, "<i8", count)
-        sizes = _read_array(stream, "<i4", count)
+        if mmap:
+            if version != _VERSION:
+                raise ValueError(
+                    f"mmap=True requires a version {_VERSION} trace file "
+                    f"(got version {version}; rewrite with write_binary_trace)"
+                )
+            return _map_arrays(Path(source), count, meta_len, metadata)
+        if version == _VERSION:
+            kinds_off, addresses_off, _sizes_off, _end = _section_offsets(meta_len, count)
+            kind_pad = kinds_off - (_HEADER.size + meta_len)
+            address_pad = addresses_off - (kinds_off + count * _KIND_DTYPE.itemsize)
+        else:
+            kind_pad = address_pad = 0
+        kinds = _read_array(stream, _KIND_DTYPE, count, kind_pad)
+        addresses = _read_array(stream, _ADDRESS_DTYPE, count, address_pad)
+        sizes = _read_array(stream, _SIZE_DTYPE, count, 0)
         return Trace(kinds, addresses, sizes, metadata)
     finally:
         if own:
@@ -158,16 +226,71 @@ def save_trace(trace: Trace, path: str | Path) -> None:
         write_text_trace(trace, path)
 
 
-def load_trace(path: str | Path) -> Trace:
-    """Load a trace saved by :func:`save_trace`."""
+def load_trace(path: str | Path, *, mmap: bool = False) -> Trace:
+    """Load a trace saved by :func:`save_trace`.
+
+    ``mmap`` is honoured for ``.rtrc`` files (see :func:`read_binary_trace`)
+    and ignored for text traces, which are always parsed eagerly.
+    """
     path = Path(path)
     if path.suffix == ".rtrc":
-        return read_binary_trace(path)
+        return read_binary_trace(path, mmap=mmap)
     return read_text_trace(path)
 
 
-def _read_array(stream: IO[bytes], dtype: str, count: int) -> np.ndarray:
-    expected = np.dtype(dtype).itemsize * count
+def _section_offsets(meta_len: int, count: int) -> tuple[int, int, int, int]:
+    """Byte offsets of the version-2 array sections, plus the file end."""
+    kinds_off = _aligned(_HEADER.size + meta_len)
+    addresses_off = _aligned(kinds_off + count * _KIND_DTYPE.itemsize)
+    sizes_off = addresses_off + count * _ADDRESS_DTYPE.itemsize
+    end = sizes_off + count * _SIZE_DTYPE.itemsize
+    return kinds_off, addresses_off, sizes_off, end
+
+
+def _aligned(offset: int) -> int:
+    return offset + (-offset % _ALIGN)
+
+
+def _payload_bytes(version: int, count: int, meta_len: int) -> int:
+    """Bytes required after the metadata section for ``count`` references."""
+    if version == 1:
+        return count * (
+            _KIND_DTYPE.itemsize + _ADDRESS_DTYPE.itemsize + _SIZE_DTYPE.itemsize
+        )
+    end = _section_offsets(meta_len, count)[3]
+    return end - (_HEADER.size + meta_len)
+
+
+def _remaining_bytes(stream: IO[bytes]) -> int | None:
+    """Bytes left in ``stream``, or None if it is not seekable."""
+    try:
+        pos = stream.tell()
+        end = stream.seek(0, io.SEEK_END)
+        stream.seek(pos)
+    except (AttributeError, OSError, ValueError, io.UnsupportedOperation):
+        return None
+    return end - pos
+
+
+def _map_arrays(path: Path, count: int, meta_len: int, metadata: TraceMetadata) -> Trace:
+    kinds_off, addresses_off, sizes_off, _end = _section_offsets(meta_len, count)
+    if count == 0:
+        # memmap rejects zero-length maps; an empty trace has no file to share.
+        return Trace([], [], [], metadata)
+    kinds = np.memmap(path, dtype=_KIND_DTYPE, mode="r", offset=kinds_off, shape=(count,))
+    addresses = np.memmap(
+        path, dtype=_ADDRESS_DTYPE, mode="r", offset=addresses_off, shape=(count,)
+    )
+    sizes = np.memmap(path, dtype=_SIZE_DTYPE, mode="r", offset=sizes_off, shape=(count,))
+    # validate=False: the range scans would fault every page of the file in,
+    # defeating the point of mapping it lazily.
+    return Trace(kinds, addresses, sizes, metadata, validate=False)
+
+
+def _read_array(stream: IO[bytes], dtype: np.dtype, count: int, pad: int) -> np.ndarray:
+    if pad and len(stream.read(pad)) != pad:
+        raise ValueError("truncated trace file: short array section")
+    expected = dtype.itemsize * count
     raw = stream.read(expected)
     if len(raw) != expected:
         raise ValueError("truncated trace file: short array section")

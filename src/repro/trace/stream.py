@@ -21,6 +21,11 @@ __all__ = ["TraceMetadata", "Trace", "CompiledTrace"]
 #: Compiled views memoized per trace (one entry per line size).
 _COMPILED_CACHE_ENTRIES = 4
 
+#: Derived artifacts memoized per compiled view (replay bundles, profiles).
+_DERIVED_CACHE_ENTRIES = 8
+
+_MISSING = object()
+
 
 @dataclass(frozen=True, slots=True)
 class TraceMetadata:
@@ -61,7 +66,7 @@ class CompiledTrace:
             consumers map interval boundaries through this array.
     """
 
-    __slots__ = ("line_size", "lines", "kinds", "positions", "_lists")
+    __slots__ = ("line_size", "lines", "kinds", "positions", "_lists", "_memo")
 
     def __init__(self, trace: "Trace", line_size: int) -> None:
         if line_size <= 0 or line_size & (line_size - 1):
@@ -93,6 +98,7 @@ class CompiledTrace:
         self.kinds = kinds
         self.positions = positions
         self._lists: tuple[list[int], list[int]] | None = None
+        self._memo: OrderedDict = OrderedDict()
 
     def __len__(self) -> int:
         """Number of line references (>= the trace's access count)."""
@@ -108,6 +114,28 @@ class CompiledTrace:
         if self._lists is None:
             self._lists = (self.kinds.tolist(), self.lines.tolist())
         return self._lists
+
+    def memo(self, key, build):
+        """Bounded cache for artifacts derived from this view.
+
+        The vectorized kernels precompute whole-stream arrays (stack
+        distances, per-set sort orders, residency tables) that depend only
+        on the compiled view plus a few hashable parameters.  Sweeping one
+        trace across many cache sizes re-derives nothing: the first call
+        per ``key`` runs ``build()``, later calls return the cached value.
+        Bounded LRU, like the compiled-view cache itself, so a long
+        campaign over many organizations cannot pin unbounded state.
+        """
+        cache = self._memo
+        value = cache.get(key, _MISSING)
+        if value is not _MISSING:
+            cache.move_to_end(key)
+            return value
+        value = build()
+        cache[key] = value
+        while len(cache) > _DERIVED_CACHE_ENTRIES:
+            cache.popitem(last=False)
+        return value
 
     def cut(self, length: int) -> int:
         """Number of line references belonging to the first ``length``
@@ -130,6 +158,10 @@ class Trace(Sequence[MemoryAccess]):
         addresses: integer array of byte addresses.
         sizes: integer array of byte counts per access.
         metadata: optional descriptive metadata.
+        validate: skip the value-range scans when False.  Reserved for
+            callers whose arrays are already known valid — copies of
+            validated traces, or memory-mapped ``.rtrc`` sections where an
+            eager scan would fault the whole file into memory.
 
     Raises:
         ValueError: if the arrays disagree in length or contain invalid
@@ -144,6 +176,8 @@ class Trace(Sequence[MemoryAccess]):
         addresses: np.ndarray | Sequence[int],
         sizes: np.ndarray | Sequence[int],
         metadata: TraceMetadata | None = None,
+        *,
+        validate: bool = True,
     ) -> None:
         kinds = np.asarray(kinds, dtype=np.int8)
         addresses = np.asarray(addresses, dtype=np.int64)
@@ -153,13 +187,16 @@ class Trace(Sequence[MemoryAccess]):
                 "kind/address/size arrays must be the same length, got "
                 f"{len(kinds)}/{len(addresses)}/{len(sizes)}"
             )
-        if len(kinds) and (kinds.min() < 0 or kinds.max() > max(AccessKind)):
-            raise ValueError("kinds array contains values outside AccessKind")
-        if len(addresses) and addresses.min() < 0:
-            raise ValueError("addresses must be non-negative")
-        if len(sizes) and sizes.min() <= 0:
-            raise ValueError("sizes must be positive")
+        if validate and len(kinds):
+            if kinds.min() < 0 or kinds.max() > max(AccessKind):
+                raise ValueError("kinds array contains values outside AccessKind")
+            if addresses.min() < 0:
+                raise ValueError("addresses must be non-negative")
+            if sizes.min() <= 0:
+                raise ValueError("sizes must be positive")
         for array in (kinds, addresses, sizes):
+            if isinstance(array, np.memmap):
+                continue  # memmaps opened read-only are already immutable
             array.setflags(write=False)
         self._kinds = kinds
         self._addresses = addresses
@@ -189,13 +226,23 @@ class Trace(Sequence[MemoryAccess]):
         return cls([], [], [], metadata)
 
     def with_metadata(self, **changes) -> "Trace":
-        """Copy of this trace with metadata fields replaced."""
-        return Trace(
+        """Copy of this trace with metadata fields replaced.
+
+        The copy shares the compiled-view memo and raw-list cache with the
+        original — the arrays are immutable, so every derived artifact
+        stays valid, and renaming a trace mid-campaign no longer forces a
+        re-expansion of views that were already built.
+        """
+        copy = Trace(
             self._kinds,
             self._addresses,
             self._sizes,
             replace(self.metadata, **changes),
+            validate=False,
         )
+        copy._compiled = self._compiled
+        copy._raw_lists = self._raw_lists
+        return copy
 
     # -- array views -------------------------------------------------------
 

@@ -145,6 +145,123 @@ class TestReplayKernelEquivalence:
         assert results[0] == results[1]
 
 
+# ORGANIZATIONS with the replacement factory left as a parameter, for the
+# FIFO/RANDOM equivalence grid below.
+POLICY_ORGANIZATIONS = {
+    "unified-full": lambda r: UnifiedCache(CacheGeometry(512, 16), replacement=r),
+    "unified-2way": lambda r: UnifiedCache(
+        CacheGeometry(1024, 16, associativity=2), replacement=r
+    ),
+    "unified-direct": lambda r: UnifiedCache(
+        CacheGeometry(256, 16, associativity=1), replacement=r
+    ),
+    "unified-wt": lambda r: UnifiedCache(
+        CacheGeometry(512, 16), replacement=r, write_policy=WRITE_THROUGH
+    ),
+    "unified-wta": lambda r: UnifiedCache(
+        CacheGeometry(512, 16), replacement=r, write_policy=WRITE_THROUGH_ALLOCATE
+    ),
+    "split": lambda r: SplitCache(
+        CacheGeometry(512, 16, associativity=4), replacement=r
+    ),
+    "split-fetch-data": lambda r: SplitCache(
+        CacheGeometry(256, 16), replacement=r, fetch_routing="data"
+    ),
+    "split-wt": lambda r: SplitCache(
+        CacheGeometry(512, 16), replacement=r, write_policy=WRITE_THROUGH
+    ),
+}
+
+
+def _rng_states(organization):
+    """Bit-generator state of every per-set random policy, in set order."""
+    members, _routing = organization.replay_plan()
+    return [
+        policy._rng.bit_generator.state
+        for cache in members
+        for policy in cache._policies
+    ]
+
+
+class TestPolicyKernelEquivalence:
+    """FIFO and RANDOM replay kernels against the generic engine.
+
+    Same contract as the LRU suite above — every counter and the final
+    per-set contents must match bit-for-bit — plus, for RANDOM, the
+    per-set generator states must agree afterwards: the kernel draws
+    victims from the cache's own rngs, consuming the exact sequence the
+    generic engine would.
+    """
+
+    @pytest.mark.parametrize("policy", ["fifo", "random"])
+    @pytest.mark.parametrize("organization", ORGANIZATIONS)
+    @pytest.mark.parametrize("schedule", range(len(SCHEDULES)))
+    def test_identical_stats_and_state(self, policy, organization, schedule):
+        trace = random_trace(seed=f"{policy}-{organization}-{schedule}")
+        build = POLICY_ORGANIZATIONS[organization]
+        # A fresh factory per organization: the random factory is stateful
+        # (each call spawns the next per-set seed), so sharing one between
+        # the two engines would give them different rng streams.
+        make = lambda: build(policy_factory(policy, seed=schedule))
+        (generic, generic_state), (kernel, kernel_state) = reports_and_state(
+            trace, make, **SCHEDULES[schedule]
+        )
+        assert kernel == generic
+        assert kernel_state == generic_state
+
+    @pytest.mark.parametrize("policy", ["fifo", "random"])
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        capacity_lines=st.sampled_from([8, 16, 64]),
+        associativity=st.sampled_from([1, 2, 4, None]),
+        split=st.booleans(),
+        purge=st.one_of(st.none(), st.integers(1, 300)),
+        warmup=st.integers(0, 300),
+    )
+    def test_property_equivalence(
+        self, policy, seed, capacity_lines, associativity, split, purge, warmup
+    ):
+        trace = random_trace(seed, length=400)
+        geometry = CacheGeometry(capacity_lines * 16, 16, associativity=associativity)
+        organization_cls = SplitCache if split else UnifiedCache
+        make = lambda: organization_cls(
+            geometry, replacement=policy_factory(policy, seed=seed)
+        )
+        (generic, generic_state), (kernel, kernel_state) = reports_and_state(
+            trace, make, purge_interval=purge, warmup=warmup
+        )
+        assert kernel == generic
+        assert kernel_state == generic_state
+
+    def test_random_kernel_consumes_identical_rng_sequence(self):
+        trace = random_trace(seed="rng-sequence", length=800)
+        states = []
+        for engine in ("generic", "kernel"):
+            organization = UnifiedCache(
+                CacheGeometry(256, 16, associativity=4),
+                replacement=policy_factory("random", seed=41),
+            )
+            simulate(trace, organization, engine=engine)
+            states.append(_rng_states(organization))
+        assert states[0] == states[1]
+
+    def test_fifo_kernel_resumes_from_existing_state(self):
+        first = random_trace(seed="fifo-warm-a", length=300)
+        second = random_trace(seed="fifo-warm-b", length=300)
+        results = []
+        for engine in ("generic", "kernel"):
+            organization = UnifiedCache(
+                CacheGeometry(512, 16, associativity=2),
+                replacement=policy_factory("fifo"),
+            )
+            simulate(first, organization, engine=engine)
+            report = simulate(second, organization, engine=engine, purge_interval=71)
+            state = [list(lines.items()) for lines in organization.cache._sets]
+            results.append((report.overall, state))
+        assert results[0] == results[1]
+
+
 class TestKernelSelection:
     def test_standard_organization_qualifies(self):
         assert can_replay(UnifiedCache(CacheGeometry(512, 16)))
@@ -161,9 +278,16 @@ class TestKernelSelection:
         with pytest.raises(ValueError, match="does not qualify"):
             simulate(random_trace(1, length=10), organization, engine="kernel")
 
-    def test_non_lru_replacement_disqualifies(self):
+    def test_fifo_and_random_now_qualify(self):
+        for name in ("fifo", "random"):
+            organization = UnifiedCache(
+                CacheGeometry(512, 16), replacement=policy_factory(name)
+            )
+            assert can_replay(organization)
+
+    def test_lfu_replacement_disqualifies(self):
         organization = UnifiedCache(
-            CacheGeometry(512, 16), replacement=policy_factory("fifo")
+            CacheGeometry(512, 16), replacement=policy_factory("lfu")
         )
         assert not can_replay(organization)
 
@@ -179,7 +303,7 @@ class TestKernelSelection:
         # auto on a disqualified organization silently takes the generic
         # engine and still produces the right answer.
         make = lambda: UnifiedCache(
-            CacheGeometry(512, 16), replacement=policy_factory("fifo")
+            CacheGeometry(512, 16), replacement=policy_factory("lfu")
         )
         trace = random_trace(seed="fallback", length=200)
         auto = simulate(trace, make(), engine="auto")

@@ -52,6 +52,59 @@ class TestBeladyMin:
         assert belady_min_misses(stream, 2) == 3
 
 
+def _min_misses_reference(stream, capacity_lines, num_sets):
+    """Brute-force per-set MIN: split the stream by set, farthest-future
+    eviction via a linear scan.  Slow but obviously correct."""
+    misses = 0
+    for index in range(num_sets):
+        sub = [int(v) for v in stream if int(v) & (num_sets - 1) == index]
+        resident, ways = set(), capacity_lines // num_sets
+        for i, line in enumerate(sub):
+            if line in resident:
+                continue
+            misses += 1
+            if len(resident) == ways:
+                future = sub[i + 1 :]
+                victim = max(
+                    resident,
+                    key=lambda l: future.index(l) if l in future else len(future) + 1,
+                )
+                resident.discard(victim)
+            resident.add(line)
+    return misses
+
+
+class TestBeladyMinSetAssociative:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("num_sets", [2, 4, 16])
+    def test_matches_brute_force_reference(self, seed, num_sets):
+        rng = np.random.default_rng(seed)
+        stream = rng.integers(0, 96, size=400)
+        for capacity in (num_sets, 4 * num_sets, 16 * num_sets):
+            assert belady_min_misses(
+                stream, capacity, num_sets=num_sets
+            ) == _min_misses_reference(stream, capacity, num_sets)
+
+    def test_fully_associative_is_num_sets_one(self):
+        stream = np.array([7, 0, 1, 2, 0, 3, 0, 4, 2, 3, 0, 3, 2, 1, 2, 0, 1, 7, 0, 1])
+        assert belady_min_misses(stream, 4, num_sets=1) == belady_min_misses(stream, 4)
+
+    def test_more_sets_never_miss_less(self):
+        # Partitioning constrains MIN's choices: per-set optimal can only
+        # be worse than (or equal to) fully-associative optimal.
+        rng = np.random.default_rng(11)
+        stream = rng.integers(0, 64, size=500)
+        counts = [belady_min_misses(stream, 16, num_sets=s) for s in (1, 2, 4, 8, 16)]
+        assert all(a <= b for a, b in zip(counts, counts[1:]))
+
+    def test_num_sets_validation(self):
+        stream = np.array([0, 1, 2, 3])
+        with pytest.raises(ValueError, match="power of two"):
+            belady_min_misses(stream, 6, num_sets=3)
+        with pytest.raises(ValueError, match="divide"):
+            belady_min_misses(stream, 4, num_sets=8)
+
+
 class TestBeladyMissRatio:
     def test_from_trace(self):
         # Three lines cycling through a 3-line cache: compulsory only.
@@ -60,6 +113,14 @@ class TestBeladyMissRatio:
         # With a 2-line cache MIN drops exactly one more reference.
         assert belady_miss_ratio(trace, 32, line_size=16) == pytest.approx(4 / 6)
 
+    def test_associativity_partitions_the_stream(self):
+        trace = make_trace(
+            [(AccessKind.READ, a) for a in (0, 16, 32, 48, 0, 16, 32, 48)]
+        )
+        full = belady_miss_ratio(trace, 64, line_size=16)
+        two_way = belady_miss_ratio(trace, 64, line_size=16, associativity=2)
+        assert full <= two_way <= 1.0
+
     def test_kind_filter(self, mixed_trace):
         value = belady_miss_ratio(
             trace=mixed_trace, capacity=64, kinds=[AccessKind.IFETCH]
@@ -67,7 +128,8 @@ class TestBeladyMissRatio:
         assert 0.0 <= value <= 1.0
 
     def test_empty_after_filter(self, tiny_trace):
-        assert belady_miss_ratio(tiny_trace, 64, kinds=[AccessKind.FETCH]) == 0.0
+        # NaN, not 0.0: a fully filtered-out stream has no miss ratio.
+        assert np.isnan(belady_miss_ratio(tiny_trace, 64, kinds=[AccessKind.FETCH]))
 
     def test_capacity_validation(self, tiny_trace):
         with pytest.raises(ValueError, match="multiple"):

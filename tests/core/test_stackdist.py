@@ -43,7 +43,10 @@ class TestProfile:
     def test_empty_stream(self):
         profile = lru_stack_distances(np.array([], dtype=np.int64))
         assert profile.total_references == 0
-        assert profile.miss_ratio(16) == 0.0
+        # An empty stream has no miss ratio; NaN keeps an all-filtered-out
+        # stream from masquerading as a perfect hit rate.
+        assert np.isnan(profile.miss_ratio(16))
+        assert np.isnan(profile.miss_ratios([16, 32])).all()
 
     def test_zero_capacity_never_hits(self):
         profile = lru_stack_distances(np.array([1, 1, 1]))

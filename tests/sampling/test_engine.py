@@ -91,18 +91,20 @@ class TestStackSweepAccuracy:
             assert estimate.half_width == 0.0
         assert value.info.units_sampled == 1
 
-    def test_empty_trace_estimates_zero(self, traces):
+    def test_empty_trace_estimates_nan(self, traces):
+        # No sampled references: the ratio is unknown (NaN), not 0.0.
         trace = traces["ZGREP"][0:0]
         value = run_sampled(trace, StackSweepJob(sizes=SIZES), IntervalSampling())
-        assert value.value == (0.0, 0.0, 0.0)
+        assert all(np.isnan(v) for v in value.value)
         assert value.info.units_sampled == 0
         for estimate in value.info.estimates:
-            assert estimate.half_width == 0.0
+            assert np.isnan(estimate.value)
 
     def test_windows_with_no_matching_kind_are_empty_strata(self):
         # Instruction-only trace measured through a data-kind filter:
         # every window has zero measured references, and the estimator
-        # must degrade to an exact zero instead of dividing by nothing.
+        # must report the ratio as unknown (NaN) instead of dividing by
+        # nothing — or passing 0.0 off as a perfect hit rate.
         from repro.trace import AccessKind
 
         trace = make_trace(
@@ -112,7 +114,7 @@ class TestStackSweepAccuracy:
             sizes=SIZES, kinds=(int(AccessKind.READ), int(AccessKind.WRITE))
         )
         value = run_sampled(trace, job, IntervalSampling(fraction=0.3, window=500))
-        assert value.value == (0.0, 0.0, 0.0)
+        assert all(np.isnan(v) for v in value.value)
 
     def test_determinism_across_repeat_runs(self, traces):
         trace = traces["FGO1"]

@@ -38,9 +38,13 @@ class TestRatioEstimates:
         # (1*10 + 3*30) / (1*100 + 3*100) = 100/400
         assert estimate.value == pytest.approx(0.25)
 
-    def test_all_empty_units_yield_exact_zero(self):
+    def test_all_empty_units_yield_nan(self):
+        # An unobserved ratio is unknown, not a perfect 0.0.
         estimates = ratio_estimates(np.zeros((3, 2)), np.zeros(3))
-        assert estimates == [Estimate(0.0, 0.0, 0.0)] * 2
+        assert len(estimates) == 2
+        for estimate in estimates:
+            assert np.isnan(estimate.value)
+            assert np.isnan(estimate.ci_low) and np.isnan(estimate.ci_high)
 
     def test_zero_reference_units_carry_no_weight(self):
         # A zero-denominator stratum must not perturb the ratio.

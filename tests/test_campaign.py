@@ -89,6 +89,31 @@ class TestTraceSpec:
         with pytest.raises(ValueError, match="trace spec kind"):
             TraceSpec(kind="nope", name="x").build()
 
+    def test_file_build_matches_saved_trace(self, tmp_path):
+        from repro.trace import save_trace
+
+        trace = catalog.generate("ZGREP", 2_000)
+        path = tmp_path / "zgrep.rtrc"
+        save_trace(trace, path)
+        for mmap in (True, False):
+            spec = TraceSpec.file(path, mmap=mmap)
+            assert spec.name == "zgrep"
+            assert spec.build() == trace
+
+    def test_file_identity_ignores_mmap(self, tmp_path):
+        # mmap is a transport choice; both transports must share cache
+        # entries, and distinct file contents must not.
+        from repro.trace import save_trace
+
+        path = tmp_path / "t.rtrc"
+        save_trace(catalog.generate("ZGREP", 2_000), path)
+        mapped = TraceSpec.file(path, mmap=True)
+        copied = TraceSpec.file(path, mmap=False)
+        assert mapped.identity() == copied.identity()
+        other = tmp_path / "u.rtrc"
+        save_trace(catalog.generate("ZGREP", 3_000), other)
+        assert TraceSpec.file(other).identity() != mapped.identity()
+
 
 class TestCellKey:
     def test_label_does_not_enter_the_key(self):
@@ -114,6 +139,18 @@ class TestCellKey:
             CampaignCell("c", TraceSpec.inline(first), SWEEP_JOB)
         ) != cell_key(CampaignCell("c", TraceSpec.inline(second), SWEEP_JOB))
 
+    def test_engine_does_not_enter_the_key(self):
+        # Kernel and generic engines are bit-identical by contract, so a
+        # cached result from either engine serves both.
+        spec = TraceSpec.catalog("ZGREP", LENGTH)
+        keys = {
+            cell_key(
+                CampaignCell("c", spec, SimulateJob(size=1024, engine=engine))
+            )
+            for engine in ("auto", "kernel", "generic")
+        }
+        assert len(keys) == 1
+
 
 class TestJobs:
     def test_simulate_job_matches_direct_simulation(self):
@@ -134,6 +171,30 @@ class TestJobs:
         result = run_cell(small_cells()[0])
         assert result.references == LENGTH
         assert result.wall_seconds > 0
+
+    def test_simulate_job_engines_agree(self):
+        trace = catalog.generate("ZGREP", LENGTH)
+        kernel = SimulateJob(size=1024, engine="kernel").run(trace)
+        generic = SimulateJob(size=1024, engine="generic").run(trace)
+        assert kernel == generic
+
+    def test_file_spec_cells_run_under_campaign(self, tmp_path):
+        # Workers each map the same .rtrc file instead of rebuilding or
+        # pickling the trace; results must match the in-memory spec.
+        from repro.trace import save_trace
+
+        trace = catalog.generate("ZGREP", LENGTH)
+        path = tmp_path / "zgrep.rtrc"
+        save_trace(trace, path)
+        cells = [
+            CampaignCell("file/sim", TraceSpec.file(path), SIM_JOB),
+            CampaignCell("file/sweep", TraceSpec.file(path), SWEEP_JOB),
+        ]
+        result = run_campaign(cells, workers=2)
+        assert not result.failures()
+        by_label = {o.label: o.value for o in result.outcomes}
+        assert by_label["file/sim"] == SIM_JOB.run(trace)
+        assert np.allclose(by_label["file/sweep"], SWEEP_JOB.run(trace))
 
 
 class TestRunCampaign:

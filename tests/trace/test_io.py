@@ -1,7 +1,10 @@
 """Tests for trace file I/O."""
 
 import io
+import json
+import struct
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -103,6 +106,168 @@ class TestBinaryFormat:
             read_binary_trace(io.BytesIO(data[:-4]))
 
 
+class TestTextValidation:
+    def test_negative_address_reports_lineno(self):
+        with pytest.raises(ValueError, match="line 2: address must be non-negative"):
+            read_text_trace(io.StringIO("r 10 4\nr -20 4\n"))
+
+    def test_zero_size_reports_lineno(self):
+        with pytest.raises(ValueError, match="line 1: size must be positive, got 0"):
+            read_text_trace(io.StringIO("r 10 0\n"))
+
+    def test_negative_size_reports_lineno(self):
+        with pytest.raises(ValueError, match="line 3: size must be positive"):
+            read_text_trace(io.StringIO("r 10 4\nw 20 8\ni 30 -1\n"))
+
+    def test_non_numeric_fields_report_lineno(self):
+        with pytest.raises(ValueError, match="line 1"):
+            read_text_trace(io.StringIO("r notahex 4\n"))
+        with pytest.raises(ValueError, match="line 1"):
+            read_text_trace(io.StringIO("r 10 four\n"))
+
+
+class TestBinaryLayout:
+    """The version-2 ``.rtrc`` layout contract: aligned, bounded, versioned."""
+
+    HEADER = struct.Struct("<4sHHQI")
+
+    def test_sections_are_eight_byte_aligned(self, sample_trace):
+        buffer = io.BytesIO()
+        write_binary_trace(sample_trace, buffer)
+        data = buffer.getvalue()
+        magic, version, _, count, meta_len = self.HEADER.unpack_from(data)
+        assert (magic, version, count) == (b"RTRC", 2, len(sample_trace))
+        kinds_off = -(-(self.HEADER.size + meta_len) // 8) * 8
+        addresses_off = -(-(kinds_off + count) // 8) * 8
+        sizes_off = addresses_off + 8 * count
+        assert kinds_off % 8 == addresses_off % 8 == 0
+        assert len(data) == sizes_off + 4 * count
+        addresses = np.frombuffer(data, dtype="<i8", count=count, offset=addresses_off)
+        assert addresses.tolist() == sample_trace.addresses.tolist()
+
+    def test_corrupt_count_fails_fast(self, sample_trace, tmp_path):
+        # A header claiming 2**40 references must be rejected by bounding it
+        # against the file size, not by attempting a terabyte-sized read.
+        path = tmp_path / "corrupt.rtrc"
+        write_binary_trace(sample_trace, path)
+        data = bytearray(path.read_bytes())
+        struct.pack_into("<Q", data, 8, 2**40)
+        path.write_bytes(data)
+        with pytest.raises(ValueError, match="short array section"):
+            read_binary_trace(path)
+        with pytest.raises(ValueError, match="short array section"):
+            read_binary_trace(path, mmap=True)
+
+    def test_truncation_at_any_section_is_detected(self, sample_trace):
+        buffer = io.BytesIO()
+        write_binary_trace(sample_trace, buffer)
+        data = buffer.getvalue()
+        _, _, _, count, meta_len = self.HEADER.unpack_from(data)
+        for cut in (self.HEADER.size + meta_len - 1,  # inside metadata
+                    self.HEADER.size + meta_len + count // 2,  # inside kinds
+                    len(data) - 1):  # inside sizes
+            with pytest.raises(ValueError, match="truncated"):
+                read_binary_trace(io.BytesIO(data[:cut]))
+
+    def test_version_1_still_reads(self, sample_trace):
+        # Hand-build a v1 file: unaligned, sections back to back.
+        meta = json.dumps(
+            {"name": "legacy", "architecture": None, "language": None,
+             "description": None, "extra": {}},
+            sort_keys=True,
+        ).encode()
+        count = len(sample_trace)
+        payload = (
+            self.HEADER.pack(b"RTRC", 1, 0, count, len(meta))
+            + meta
+            + sample_trace.kinds.astype("<i1").tobytes()
+            + sample_trace.addresses.astype("<i8").tobytes()
+            + sample_trace.sizes.astype("<i4").tobytes()
+        )
+        restored = read_binary_trace(io.BytesIO(payload))
+        assert restored == sample_trace
+        assert restored.metadata.name == "legacy"
+
+    def test_unsupported_version_rejected(self, sample_trace):
+        buffer = io.BytesIO()
+        write_binary_trace(sample_trace, buffer)
+        data = bytearray(buffer.getvalue())
+        struct.pack_into("<H", data, 4, 9)
+        with pytest.raises(ValueError, match="version 9"):
+            read_binary_trace(io.BytesIO(bytes(data)))
+
+
+class TestMemoryMappedRead:
+    def test_roundtrip(self, sample_trace, tmp_path):
+        path = tmp_path / "trace.rtrc"
+        write_binary_trace(sample_trace, path)
+        mapped = read_binary_trace(path, mmap=True)
+        assert mapped == sample_trace
+        assert mapped.metadata == sample_trace.metadata
+
+    def test_arrays_are_read_only_file_views(self, sample_trace, tmp_path):
+        path = tmp_path / "trace.rtrc"
+        write_binary_trace(sample_trace, path)
+        mapped = read_binary_trace(path, mmap=True)
+        for array in (mapped.kinds, mapped.addresses, mapped.sizes):
+            # Zero-copy: the ndarray is a view whose base is the file map.
+            assert isinstance(array.base, np.memmap)
+            assert not array.flags.owndata
+            assert not array.flags.writeable
+            with pytest.raises((ValueError, RuntimeError)):
+                array[0] = 1
+
+    def test_empty_trace_maps_to_plain_trace(self, tmp_path):
+        path = tmp_path / "empty.rtrc"
+        write_binary_trace(Trace.empty(TraceMetadata(name="nil")), path)
+        mapped = read_binary_trace(path, mmap=True)
+        assert len(mapped) == 0
+        assert mapped.metadata.name == "nil"
+
+    def test_mmap_requires_a_path(self, sample_trace):
+        buffer = io.BytesIO()
+        write_binary_trace(sample_trace, buffer)
+        buffer.seek(0)
+        with pytest.raises(ValueError, match="file path"):
+            read_binary_trace(buffer, mmap=True)
+
+    def test_mmap_requires_version_2(self, tmp_path):
+        meta = json.dumps(
+            {"name": "v1", "architecture": None, "language": None,
+             "description": None, "extra": {}},
+            sort_keys=True,
+        ).encode()
+        path = tmp_path / "v1.rtrc"
+        path.write_bytes(
+            struct.Struct("<4sHHQI").pack(b"RTRC", 1, 0, 1, len(meta))
+            + meta + b"\0" + b"\0" * 8 + b"\1\0\0\0"
+        )
+        with pytest.raises(ValueError, match="version 2"):
+            read_binary_trace(path, mmap=True)
+
+    def test_load_trace_honours_mmap(self, sample_trace, tmp_path):
+        path = tmp_path / "trace.rtrc"
+        save_trace(sample_trace, path)
+        mapped = load_trace(path, mmap=True)
+        assert mapped == sample_trace
+        assert isinstance(mapped.kinds.base, np.memmap)
+
+    def test_mapped_trace_simulates_identically(self, tmp_path):
+        from repro.core import CacheGeometry, UnifiedCache, simulate
+        from repro.workloads import catalog
+
+        trace = catalog.generate("VCCOM", 2000)
+        path = tmp_path / "sim.rtrc"
+        write_binary_trace(trace, path)
+        mapped = read_binary_trace(path, mmap=True)
+        make = lambda: UnifiedCache(CacheGeometry(1024, 16, 2))
+        baseline = simulate(trace, make())
+        assert simulate(mapped, make()).overall == baseline.overall
+        assert (
+            simulate(mapped, make(), engine="generic").overall == baseline.overall
+        )
+
+
 class TestSaveLoad:
     def test_suffix_dispatch(self, sample_trace, tmp_path):
         binary = tmp_path / "t.rtrc"
@@ -121,14 +286,14 @@ class TestSaveLoad:
 
 @settings(max_examples=20, deadline=None)
 @given(
-    st.lists(
+    entries=st.lists(
         st.tuples(
             st.integers(0, 3), st.integers(0, 2**40), st.integers(1, 64)
         ),
         max_size=40,
     )
 )
-def test_both_formats_roundtrip_arbitrary_traces(entries):
+def test_both_formats_roundtrip_arbitrary_traces(entries, tmp_path_factory):
     trace = Trace(
         [k for k, _, _ in entries],
         [a for _, a, _ in entries],
@@ -144,3 +309,9 @@ def test_both_formats_roundtrip_arbitrary_traces(entries):
     write_binary_trace(trace, binary_buffer)
     binary_buffer.seek(0)
     assert read_binary_trace(binary_buffer) == trace
+
+    path = tmp_path_factory.mktemp("prop") / "trace.rtrc"
+    path.write_bytes(binary_buffer.getvalue())
+    mapped = read_binary_trace(path, mmap=True)
+    assert mapped == trace
+    assert mapped.metadata == trace.metadata

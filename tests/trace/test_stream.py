@@ -182,6 +182,22 @@ class TestCompiledView:
         assert addresses == trace.addresses.tolist()
         assert sizes == trace.sizes.tolist()
 
+    def test_with_metadata_shares_compiled_views(self):
+        # Renaming a trace does not change its references, so the compiled
+        # views (and everything memoized on them — stack profiles, raw
+        # lists) must carry over instead of being rebuilt per label.
+        trace = make_trace([(AccessKind.READ, 8, 30), (AccessKind.IFETCH, 64, 4)])
+        view = trace.compiled(16)
+        raw = trace.raw_lists()
+        renamed = trace.with_metadata(name="relabelled")
+        assert renamed.metadata.name == "relabelled"
+        assert renamed.compiled(16) is view
+        assert renamed.raw_lists()[0] is raw[0]
+        # And the shared memo keeps working in both directions: a view
+        # compiled on the copy is visible from the original.
+        new_view = renamed.compiled(32)
+        assert trace.compiled(32) is new_view
+
     def test_derived_traces_have_isolated_memos(self):
         # A sampled sub-trace must never collide with or evict its
         # parent's compiled views (the sampling engine slices windows
