@@ -4,7 +4,9 @@ Conventional pytest-benchmark microbenchmarks (multiple rounds) over the
 hot paths: the specialized replay kernels (one per replacement policy,
 plus Belady's MIN), the generic per-access engine, the one-pass
 stack-distance sweep, the all-associativity surface kernel, trace
-generation, and the ``.rtrc`` load paths (memory-mapped vs eager copy).
+generation — both engines, per workload family, at ``REPRO_BENCH_GEN_REFS``
+references — the shared trace store's cold-write and warm-mmap paths,
+and the ``.rtrc`` load paths (memory-mapped vs eager copy).
 
 Besides the usual pytest-benchmark console table, the module writes a
 machine-readable summary — references/second per hot path — to
@@ -31,10 +33,20 @@ from repro.core import (
 )
 from repro.core.replacement import policy_factory
 from repro.trace.io import read_binary_trace, write_binary_trace
+from repro.trace.store import TraceStore
 from repro.workloads import catalog
-from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.generator import SyntheticWorkload, trace_identity
 
 REFS = int(os.environ.get("REPRO_BENCH_REFS", "30000"))
+
+#: Trace length for the engine-comparison generation benchmarks.  The
+#: vectorized engine amortizes per-call setup over the whole trace, so
+#: short lengths understate it; 200k is past the knee without making the
+#: scalar oracle runs (~0.4 Mrefs/s) dominate the suite.
+GEN_REFS = int(os.environ.get("REPRO_BENCH_GEN_REFS", "200000"))
+
+#: One catalog entry per workload family / architecture group.
+GEN_FAMILIES = ("VCCOM", "FGO1", "TWOD", "ZGREP")
 
 _ASSOC_WAYS = (1, 2, 4, 8, None)
 _ASSOC_CAPACITIES = (1024, 8192)
@@ -178,3 +190,65 @@ def test_generator_throughput(benchmark, throughput_log):
     generated = benchmark(run)
     assert len(generated) == REFS
     _record(throughput_log, "trace_generator", benchmark, REFS)
+
+
+@pytest.mark.parametrize("family", GEN_FAMILIES)
+def test_generation_vectorized_throughput(benchmark, family, throughput_log):
+    workload = SyntheticWorkload(catalog.get(family))
+    workload.generate(GEN_REFS, engine="vectorized")  # warm code + page cache
+
+    def run():
+        return workload.generate(GEN_REFS, engine="vectorized")
+
+    generated = benchmark(run)
+    assert len(generated) == GEN_REFS
+    _record(throughput_log, f"generation_vectorized_{family}", benchmark, GEN_REFS)
+
+
+@pytest.mark.parametrize("family", GEN_FAMILIES)
+def test_generation_reference_throughput(benchmark, family, throughput_log):
+    # The scalar oracle runs ~10-20x slower, so it gets a tenth of the
+    # references; refs/sec in the report stays directly comparable.
+    refs = max(1000, GEN_REFS // 10)
+    workload = SyntheticWorkload(catalog.get(family))
+
+    def run():
+        return workload.generate(refs, engine="reference")
+
+    generated = benchmark(run)
+    assert len(generated) == refs
+    _record(throughput_log, f"generation_reference_{family}", benchmark, refs)
+
+
+def test_trace_store_cold_write(benchmark, trace, tmp_path_factory, throughput_log):
+    # Cold path: the store serializes an already-built trace and maps it
+    # back (generation cost is benchmarked separately above).
+    identity = trace_identity(catalog.get("VCCOM"), REFS)
+    counter = iter(range(10**9))
+
+    def run():
+        store = TraceStore(tmp_path_factory.mktemp(f"store{next(counter)}"))
+        resolved, hit = store.get_or_create(identity, lambda: trace)
+        assert hit is False
+        return resolved
+
+    resolved = benchmark(run)
+    assert len(resolved) == len(trace)
+    _record(throughput_log, "trace_store_cold", benchmark, REFS)
+
+
+def test_trace_store_warm_load(benchmark, trace, tmp_path_factory, throughput_log):
+    store = TraceStore(tmp_path_factory.mktemp("store_warm"))
+    identity = trace_identity(catalog.get("VCCOM"), REFS)
+    store.get_or_create(identity, lambda: trace)
+
+    def run():
+        resolved, hit = store.get_or_create(
+            identity, lambda: pytest.fail("warm load must not rebuild")
+        )
+        assert hit is True
+        return resolved
+
+    resolved = benchmark(run)
+    assert len(resolved) == len(trace)
+    _record(throughput_log, "trace_store_warm", benchmark, REFS)

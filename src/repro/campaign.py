@@ -54,8 +54,16 @@ therefore degrades gracefully instead of failing all-or-nothing:
   ``progress`` callback genuinely streams (still in submission order),
   and every lifecycle step can be appended to a JSONL event log
   (:class:`EventLog`, ``events=`` / ``REPRO_EVENT_LOG``):
-  ``campaign_started``, ``cell_finished``, ``cell_retried``,
-  ``cell_failed``, ``campaign_finished``.
+  ``campaign_started``, ``trace_store_write`` / ``trace_store_hit``
+  (shared trace-store priming, see below), ``cell_finished``,
+  ``cell_retried``, ``cell_failed``, ``campaign_finished``.
+* **Shared trace store** — with ``REPRO_TRACE_STORE=<dir>`` (or
+  ``--trace-store`` on the CLI) the parent process generates every
+  distinct catalog trace referenced by the pending cells exactly once,
+  stores it content-addressed as a mappable ``.rtrc`` file
+  (:class:`~repro.trace.store.TraceStore`), and the workers memory-map
+  that file instead of regenerating it — N cells over one workload cost
+  one generation.
 
 Every executed cell is timed; :meth:`CampaignResult.summary` reports wall
 time, references/second, and failure/retry counts per campaign, and
@@ -640,6 +648,64 @@ class _Recorder:
             )
 
 
+def _prime_trace_store(pending: list[_Flight], log: EventLog | None) -> None:
+    """Generate each distinct catalog trace once, before the fan-out.
+
+    With ``REPRO_TRACE_STORE`` set, N cells over one workload must cost one
+    generation, not N: the parent resolves every distinct catalog
+    ``(name, length)`` referenced by the pending cells through the shared
+    :class:`~repro.trace.store.TraceStore` up front, so by the time workers
+    build their traces every store lookup is a hit and they merely
+    memory-map the parent's file.  Emits one ``trace_store_write`` (freshly
+    generated) or ``trace_store_hit`` (already stored) event per trace.
+
+    Best-effort: a failure here (unwritable store, bad workload) is left
+    for the owning cell to report as a normal cell failure.
+    """
+    from .trace.store import TraceStore
+
+    store = TraceStore.from_env()
+    if store is None:
+        return
+    from .workloads import catalog
+    from .workloads.generator import trace_identity
+
+    needed: dict[tuple[str, int | None], None] = {}
+    for flight in pending:
+        spec = flight.cell.trace
+        if spec.kind == "catalog":
+            needed.setdefault((spec.name, spec.length), None)
+        elif spec.kind == "mix":
+            for member in spec.members:
+                needed.setdefault((member, spec.length), None)
+    for name, length in needed:
+        try:
+            resolved = length if length is not None else catalog.default_length(name)
+            key = store.key_for(trace_identity(catalog.get(name), resolved))
+            hit = store.path_for(key).exists()
+            started = time.perf_counter()
+            catalog.generate(name, length)
+        except Exception as exc:
+            if log is not None:
+                log.emit(
+                    "trace_store_error",
+                    name=name,
+                    length=length,
+                    error=type(exc).__name__,
+                    message=str(exc),
+                )
+            continue
+        if log is not None:
+            log.emit(
+                "trace_store_hit" if hit else "trace_store_write",
+                name=name,
+                length=resolved,
+                key=key,
+                path=str(store.path_for(key)),
+                wall_seconds=time.perf_counter() - started,
+            )
+
+
 def _backoff_seconds(backoff: float, attempts: int) -> float:
     """Capped exponential backoff before retry number ``attempts``."""
     if backoff <= 0:
@@ -889,6 +955,7 @@ def run_campaign(
             recorder.cached(flight, hit)
 
         if pending:
+            _prime_trace_store(pending, log)
             if count == 1 or len(pending) == 1:
                 _run_serial(pending, runner, recorder, retries, backoff)
             else:

@@ -118,6 +118,11 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="result-cache directory (default: REPRO_CACHE_DIR)")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the on-disk result cache")
+    p.add_argument("--trace-store", default=None, metavar="DIR",
+                   help="shared content-addressed trace store: each "
+                   "distinct trace is generated once, stored as a "
+                   "memory-mappable .rtrc file, and mapped by every "
+                   "worker (default: REPRO_TRACE_STORE)")
     p.add_argument("--events", default=None, metavar="PATH",
                    help="append JSONL lifecycle events to PATH "
                    "(default: REPRO_EVENT_LOG)")
@@ -268,8 +273,16 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    import os
+
     from .campaign import run_campaign
     from .core.jobs import CampaignCell, SimulateJob, StackSweepJob, TraceSpec
+    from .trace.store import TRACE_STORE_ENV
+
+    if args.trace_store:
+        # Exported (not passed) so pool workers inherit it and resolve
+        # their traces through the same store the parent primed.
+        os.environ[TRACE_STORE_ENV] = args.trace_store
 
     names = args.traces if args.traces is not None else catalog.names()
     for name in names:

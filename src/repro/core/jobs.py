@@ -58,7 +58,9 @@ __all__ = [
 #: Bump when the synthetic-trace generator or the simulator semantics
 #: change in a way that invalidates previously cached cell results.
 #: Version 2: :class:`CellResult` grew the ``sampling`` field.
-CACHE_SCHEMA_VERSION = 2
+#: Version 3: generator v2 — purpose-decomposed RNG streams changed the
+#: emitted reference streams for equal workload parameters.
+CACHE_SCHEMA_VERSION = 3
 
 _WRITE_POLICIES = {
     "copy-back": WritePolicy(WriteStrategy.COPY_BACK, allocate_on_write=True),

@@ -835,6 +835,46 @@ def _replay_member(
         target.update(resident)  # dict order is recency order
 
 
+class _BlockedIntegers:
+    """Block-drawn bounded integers, bit-identical to scalar draws.
+
+    ``Generator.integers(bound, size=n)`` vends the same values and leaves
+    the same bit-generator state as ``n`` successive scalar
+    ``integers(bound)`` calls, so blocks chain seamlessly: each new block
+    continues the exact scalar sequence.  Draws are over-provisioned for
+    speed; :meth:`finalize` rewinds the generator to its starting state
+    and re-consumes exactly the draws handed out, so the final state is
+    indistinguishable from the scalar loop's.
+    """
+
+    __slots__ = ("_rng", "_bound", "_state0", "_buffer", "_next", "_count")
+
+    def __init__(self, rng, bound: int) -> None:
+        self._rng = rng
+        self._bound = bound
+        self._state0 = rng.bit_generator.state
+        self._buffer: list[int] = []
+        self._next = 0
+        self._count = 0
+
+    def next(self) -> int:
+        """The next bounded integer of the scalar sequence."""
+        if self._next >= len(self._buffer):
+            size = max(64, 2 * len(self._buffer))
+            self._buffer = self._rng.integers(self._bound, size=size).tolist()
+            self._next = 0
+        value = self._buffer[self._next]
+        self._next += 1
+        self._count += 1
+        return value
+
+    def finalize(self) -> None:
+        """Leave the generator exactly where scalar consumption would."""
+        self._rng.bit_generator.state = self._state0
+        if self._count:
+            self._rng.integers(self._bound, size=self._count)
+
+
 def _replay_member_queue(
     cache: Cache,
     kinds: list[int],
@@ -847,8 +887,9 @@ def _replay_member_queue(
     The DEW fast path: neither policy reorders on a hit, so the hit path
     is a plain dict store (dict insertion order *is* FIFO order).  FIFO
     evicts the insertion-order head; RANDOM draws the victim through the
-    cache's own per-set generators (``rngs``), consuming the exact random
-    stream the engine would — generator state after replay is identical.
+    cache's own per-set generators (``rngs``) via block-drawing
+    :class:`_BlockedIntegers` vendors — the victim sequence and the
+    generator state after replay are identical to scalar consumption.
     """
     set_mask = cache.geometry.num_sets - 1
     ways = cache.geometry.ways
@@ -863,6 +904,9 @@ def _replay_member_queue(
     ]
 
     sets = [dict(resident) for resident in cache._sets]
+    vendors = (
+        None if rngs is None else [_BlockedIntegers(rng, ways) for rng in rngs]
+    )
 
     refs = [0, 0, 0, 0]
     misses = [0, 0, 0, 0]
@@ -884,12 +928,13 @@ def _replay_member_queue(
                         continue
                     demand += 1
                     if len(resident) >= ways:
-                        if rngs is None:
+                        if vendors is None:
                             victim = next(iter(resident))
                         else:
+                            # Eviction only fires on a full set, so the
+                            # vendor's fixed bound == len(resident) == ways.
                             keys = list(resident)
-                            rng = rngs[line & set_mask]
-                            victim = keys[int(rng.integers(len(keys)))]
+                            victim = keys[vendors[line & set_mask].next()]
                         victim_flags = resident.pop(victim)
                         rpush += 1
                         if victim_flags & FLAG_DATA:
@@ -918,6 +963,10 @@ def _replay_member_queue(
             misses = [0, 0, 0, 0]
             demand = rpush = ppush = dirty = data = ddata = purges = 0
             cache.reset_statistics()
+
+    if vendors is not None:
+        for vendor in vendors:
+            vendor.finalize()
 
     stats = cache.stats
     for kind, counts in enumerate(stats.counts_by_kind()):

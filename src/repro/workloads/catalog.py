@@ -22,11 +22,12 @@ separately as in Table 1.
 
 from __future__ import annotations
 
-import functools
+from collections import OrderedDict
 
+from ..trace.store import TraceStore
 from ..trace.stream import Trace
 from .architectures import make_parameters, profile
-from .generator import SyntheticWorkload
+from .generator import SyntheticWorkload, trace_identity
 from .parameters import CodeModel, DataModel, WorkloadParameters
 
 __all__ = [
@@ -438,9 +439,23 @@ def default_length(name: str) -> int:
     return DEFAULT_TRACE_LENGTH
 
 
-@functools.lru_cache(maxsize=128)
+#: In-process memo of generated traces, keyed by *normalized* (name,
+#: length) — ``length=None`` is resolved to the paper's default first, so
+#: ``generate("FGO1")`` and ``generate("FGO1", 250_000)`` share one entry.
+_MEMO: OrderedDict[tuple[str, int], Trace] = OrderedDict()
+_MEMO_MAX = 128
+
+
 def generate(name: str, length: int | None = None) -> Trace:
     """Generate (and memoize) a catalog trace.
+
+    Repeated calls return the same object (an in-process LRU memo over the
+    normalized ``(name, length)``).  With ``REPRO_TRACE_STORE`` set, misses
+    resolve through the shared content-addressed
+    :class:`~repro.trace.store.TraceStore`: the first process to ask for a
+    given trace generates and stores it once, and every other process
+    memory-maps that file instead of regenerating — the arrays are then
+    read-only views of pages shared across all workers.
 
     Args:
         name: a catalog trace name.
@@ -453,7 +468,23 @@ def generate(name: str, length: int | None = None) -> Trace:
     params = get(name)
     if length is None:
         length = default_length(name)
-    return SyntheticWorkload(params).generate(length)
+    key = (name, length)
+    cached = _MEMO.get(key)
+    if cached is not None:
+        _MEMO.move_to_end(key)
+        return cached
+    store = TraceStore.from_env()
+    if store is None:
+        trace = SyntheticWorkload(params).generate(length)
+    else:
+        trace, _hit = store.get_or_create(
+            trace_identity(params, length),
+            lambda: SyntheticWorkload(params).generate(length),
+        )
+    _MEMO[key] = trace
+    while len(_MEMO) > _MEMO_MAX:
+        _MEMO.popitem(last=False)
+    return trace
 
 
 def groups() -> dict[str, list[str]]:

@@ -17,6 +17,15 @@ Models a program's control flow with the structures that matter to a cache:
 The engine emits one executed instruction per :meth:`CodeEngine.step`; the
 :class:`~repro.workloads.interface.InstructionInterface` turns those into
 trace references.
+
+Randomness is *purpose-decomposed*: after the construction draws (layout,
+weights, rank permutation) the engine spawns one child stream per decision
+kind — branch classification, loop shapes, loop-body calls, helper lengths,
+skip distances, procedure picks — each consuming a fixed number of variates
+per decision.  That makes every stream's consumption count a pure function
+of the decision sequence, which is what lets the vectorized generator
+(:mod:`~repro.workloads.vectorized`) bulk-draw the same variates and stay
+bit-identical to this scalar reference path.
 """
 
 from __future__ import annotations
@@ -56,6 +65,18 @@ class CodeEngine:
         self._cumulative = self._procedure_weights(model, rng)
         # rank -> procedure map; the phase offset rotates through it.
         self._rank_map = rng.generator.permutation(model.procedure_count).tolist()
+        # Purpose streams, one per decision kind, spawned in a fixed order.
+        # The seeds are kept so the vectorized generator can bulk-draw the
+        # branch/loop-call streams; the scalar children below consume the
+        # exact same variates one at a time.
+        self.branch_seed = rng.spawn_seed()
+        self.loop_call_seed = rng.spawn_seed()
+        self._branch = BatchedRandom(self.branch_seed)
+        self._loop_call = BatchedRandom(self.loop_call_seed)
+        self._loop_shape = rng.spawn()
+        self._helper = rng.spawn()
+        self._skip = rng.spawn()
+        self._proc_picker = rng.spawn()
         self._phase_offset = 0
         self._instructions = 0
         # Execution state.
@@ -112,7 +133,6 @@ class CodeEngine:
         length = model.instruction_bytes
         address = self._pc
         event = EVENT_NONE
-        rng = self._rng
 
         self._instructions += 1
         if model.phase_instructions and self._instructions % model.phase_instructions == 0:
@@ -142,11 +162,14 @@ class CodeEngine:
                 next_pc = address + length
                 still_looping = True
             # Loop bodies call helper procedures: suspend the loop, resume
-            # it (with its saved state) when the callee returns.
+            # it (with its saved state) when the callee returns.  The
+            # stream is consumed once per body instruction (fixed-rate, so
+            # the vectorized walk can locate the threshold crossings with
+            # one bulk comparison); the depth cap only gates the effect.
             if (
                 model.loop_call_probability
+                and self._loop_call.uniform() < model.loop_call_probability
                 and len(self._stack) < _MAX_CALL_DEPTH
-                and rng.uniform() < model.loop_call_probability
             ):
                 saved = (
                     (self._loop_start, self._loop_body,
@@ -155,7 +178,7 @@ class CodeEngine:
                     else None
                 )
                 self._stack.append((next_pc, self._proc, saved, self._helper_left))
-                self._helper_left = 2 + rng.geometric(_MEAN_HELPER_LENGTH)
+                self._helper_left = 2 + self._helper.geometric(_MEAN_HELPER_LENGTH)
                 self._looping = False
                 self._proc = self._pick_procedure()
                 self._pc = self._entries[self._proc]
@@ -164,13 +187,13 @@ class CodeEngine:
                 self._looping = still_looping
                 self._pc = next_pc
         else:
-            u = rng.uniform()
+            u = self._branch.uniform()
             p_loop = model.loop_start_probability
             p_call = model.call_probability
             p_skip = model.short_jump_probability
             if u < p_loop:
-                body = rng.geometric(model.mean_loop_body)
-                iters = rng.geometric(model.mean_loop_iterations)
+                body = self._loop_shape.geometric(model.mean_loop_body)
+                iters = self._loop_shape.geometric(model.mean_loop_iterations)
                 if iters > 1:
                     # The current instruction is the first of pass 1.
                     self._looping = True
@@ -198,7 +221,7 @@ class CodeEngine:
                 self._return_from_call()
                 event = EVENT_RETURN
             elif u < p_loop + 2 * p_call + p_skip:
-                skip = 2 + rng.integer(3)  # skip 2-4 instructions
+                skip = 2 + self._skip.integer(3)  # skip 2-4 instructions
                 self._pc = address + length * skip
             else:
                 self._pc = address + length
@@ -226,7 +249,7 @@ class CodeEngine:
              self._body_left, self._iters_left) = saved
 
     def _pick_procedure(self) -> int:
-        u = self._rng.uniform()
+        u = self._proc_picker.uniform()
         rank = int(np.searchsorted(self._cumulative, u, side="right"))
         count = self.model.procedure_count
         return self._rank_map[(rank + self._phase_offset) % count]

@@ -26,12 +26,21 @@ Working-set lines are *scattered* via a fixed random permutation so that
 temporal locality does not masquerade as spatial locality — otherwise hot
 lines would be adjacent and sequential prefetch would look spuriously good
 on them.
+
+Like the code engine, randomness is purpose-decomposed: component
+selection, stack offsets, scan-stream picks, working-set positions and
+slots, write decisions, frame sizes, and each scan stream's array choices
+all consume dedicated child streams at a fixed rate per reference.  The
+write stream in particular is drawn for *every* data reference (the value
+is simply unused on non-writable lines), so stream consumption never
+depends on the address produced — the invariant the vectorized generator
+relies on.
 """
 
 from __future__ import annotations
 
 from .parameters import DataModel
-from .randomness import BatchedRandom
+from .randomness import BatchedRandom, pareto_position
 
 __all__ = ["DataEngine", "DATA_BASE", "STACK_TOP"]
 
@@ -75,10 +84,30 @@ class DataEngine:
             top = max(1, model.footprint_bytes - span)
             start = DATA_BASE + (rng.integer(top) // _LINE) * _LINE
             self._arrays.append((start, elements))
+        # Purpose streams, spawned in a fixed order after the construction
+        # draws.  Seeds for the vector-consumed streams are public so the
+        # vectorized generator can bulk-draw them.
+        self.component_seed = rng.spawn_seed()
+        self.stack_offset_seed = rng.spawn_seed()
+        self.stream_pick_seed = rng.spawn_seed()
+        self.ws_position_seed = rng.spawn_seed()
+        self.ws_slot_seed = rng.spawn_seed()
+        self.write_seed = rng.spawn_seed()
+        self._component = BatchedRandom(self.component_seed)
+        self._stack_offset = BatchedRandom(self.stack_offset_seed)
+        self._stream_pick = BatchedRandom(self.stream_pick_seed)
+        self._ws_position = BatchedRandom(self.ws_position_seed)
+        self._ws_slot = BatchedRandom(self.ws_slot_seed)
+        self._write = BatchedRandom(self.write_seed)
+        self._frame = rng.spawn()
+        # One array-pick stream per scan stream: its refills (and the
+        # initial fill) draw here, so refill timing in one stream never
+        # shifts another stream's choices.
+        self._array_pickers = [rng.spawn() for _ in range(model.sequential_streams)]
         # Sequential scan streams: [position, elements remaining].
         self._streams: list[list[int]] = []
-        for _ in range(model.sequential_streams):
-            start, elements = self._pick_array()
+        for index in range(model.sequential_streams):
+            start, elements = self._pick_array(index)
             self._streams.append([start, elements])
         # Stack state.
         self._sp = STACK_TOP
@@ -101,7 +130,7 @@ class DataEngine:
         """Push a stack frame (the code engine performed a call)."""
         if len(self._frames) >= _MAX_FRAMES:
             return
-        frame = 16 * (1 + self._rng.integer(4))  # 16..64 bytes
+        frame = 16 * (1 + self._frame.integer(4))  # 16..64 bytes
         self._frames.append(frame)
         self._sp -= frame
 
@@ -119,11 +148,10 @@ class DataEngine:
             ``(address, is_write)``.
         """
         model = self.model
-        rng = self._rng
         self._references += 1
         if model.phase_interval and self._references % model.phase_interval == 0:
             self._retire_cold_lines()
-        u = rng.uniform()
+        u = self._component.uniform()
         if u < model.stack_fraction:
             address = self._stack_address()
             writable = True  # stacks are written by their nature
@@ -133,8 +161,10 @@ class DataEngine:
         else:
             address = self._working_set_address()
             writable = self._is_writable(address)
-        is_write = writable and rng.uniform() < self._write_given_writable
-        return address, is_write
+        # Drawn unconditionally (fixed one-per-reference rate); the value
+        # only matters on writable lines.
+        wants_write = self._write.uniform() < self._write_given_writable
+        return address, writable and wants_write
 
     def _is_writable(self, address: int) -> bool:
         """Deterministic per-line writability (a cheap hash of the line)."""
@@ -145,26 +175,25 @@ class DataEngine:
 
     def _stack_address(self) -> int:
         window = self.model.stack_window_bytes
-        offset = self._rng.integer(window)
+        offset = self._stack_offset.integer(window)
         size = self.model.access_bytes
         return self._sp + (offset // size) * size
 
     def _sequential_address(self) -> int:
         streams = self._streams
-        stream = streams[self._rng.integer(len(streams))]
+        index = self._stream_pick.integer(len(streams))
+        stream = streams[index]
         address = stream[0]
         stream[0] += self.model.access_bytes
         stream[1] -= 1
         if stream[1] <= 0:
-            stream[0], stream[1] = self._pick_array()
+            stream[0], stream[1] = self._pick_array(index)
         return address
 
-    def _pick_array(self) -> tuple[int, int]:
+    def _pick_array(self, stream_index: int) -> tuple[int, int]:
         """Array to scan next: rank-Zipf choice, walked from its start."""
-        u = self._rng.uniform()
-        if u <= 0.0:
-            u = 1e-12
-        rank = int(u**self._pareto_power)  # >= 1, same tail as the stack model
+        u = self._array_pickers[stream_index].uniform()
+        rank = pareto_position(u, self._pareto_power)  # >= 1
         index = min(len(self._arrays) - 1, rank - 1)
         return self._arrays[index]
 
@@ -174,10 +203,8 @@ class DataEngine:
         # move it to the top.  k beyond the stack touches a new line,
         # growing the footprint; once the footprint is exhausted, deep
         # draws clip to the least recently used line.
-        u = self._rng.uniform()
-        if u <= 0.0:
-            u = 1e-12
-        position = int(u**self._pareto_power)  # >= 1
+        u = self._ws_position.uniform()
+        position = pareto_position(u, self._pareto_power)  # >= 1
         stack = self._stack_model
         depth = len(stack)
         if position <= depth:
@@ -198,7 +225,7 @@ class DataEngine:
             stack.append(line)
         size = self.model.access_bytes
         slots = max(1, _LINE // size)
-        return DATA_BASE + line * _LINE + self._rng.integer(slots) * size
+        return DATA_BASE + line * _LINE + self._ws_slot.integer(slots) * size
 
     def _retire_cold_lines(self, batch: int = 2) -> None:
         """Working-set turnover: the least recent lines go cold again.

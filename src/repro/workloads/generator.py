@@ -13,9 +13,23 @@ skew, branch frequency.  This generator exposes each as an explicit
 parameter, so a catalog entry calibrated to a trace's published statistics
 produces a stream the cache cannot tell apart *in those respects* from the
 lost original.
+
+Two engines produce the trace:
+
+* ``engine="reference"`` — the scalar oracle: one Python-level
+  ``code.step()`` / ``data.next_reference()`` per reference.  Simple,
+  obviously faithful to the model, and slow (~1 Mref/s).
+* ``engine="vectorized"`` (the ``"auto"`` default) — the event-driven bulk
+  path in :mod:`~repro.workloads.vectorized`.  It walks control flow at
+  event granularity, bulk-draws every purpose stream, and materializes the
+  reference arrays with numpy.  Bit-identical to the reference engine;
+  the equivalence suite (``tests/workloads/test_equivalence.py``) pins
+  that across the catalog.
 """
 
 from __future__ import annotations
+
+from dataclasses import asdict
 
 import numpy as np
 
@@ -28,11 +42,24 @@ from .interface import InstructionInterface
 from .parameters import WorkloadParameters
 from .randomness import BatchedRandom
 
-__all__ = ["SyntheticWorkload", "generate_trace"]
+__all__ = [
+    "GENERATOR_VERSION",
+    "SyntheticWorkload",
+    "generate_trace",
+    "trace_identity",
+]
+
+#: Content version of the generator semantics.  Bump whenever the emitted
+#: reference stream changes for equal parameters (stream wiring, engine
+#: model, pacing); trace-store keys and the campaign result-cache schema
+#: both incorporate it so stale artifacts can never be served.
+GENERATOR_VERSION = 2
 
 _IFETCH = int(AccessKind.IFETCH)
 _READ = int(AccessKind.READ)
 _WRITE = int(AccessKind.WRITE)
+
+_ENGINES = ("auto", "vectorized", "reference")
 
 
 class SyntheticWorkload:
@@ -41,20 +68,49 @@ class SyntheticWorkload:
     Args:
         params: the workload description.  ``params.seed`` fully determines
             the output; two generators with equal parameters produce
-            identical traces.
+            identical traces, whichever engine materializes them.
     """
 
     def __init__(self, params: WorkloadParameters) -> None:
         self.params = params
 
-    def generate(self, length: int) -> Trace:
+    def generate(self, length: int, *, engine: str = "auto") -> Trace:
         """Generate a trace of exactly ``length`` references.
 
+        Args:
+            length: number of references to emit.
+            engine: ``"auto"`` (vectorized), ``"vectorized"``, or
+                ``"reference"`` (the scalar oracle).
+
         Raises:
-            ValueError: if ``length`` is negative.
+            ValueError: if ``length`` is negative or ``engine`` unknown.
         """
         if length < 0:
             raise ValueError(f"length must be non-negative, got {length}")
+        if engine not in _ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
+        if engine == "reference":
+            kinds, addresses, sizes = self._generate_reference(length)
+        else:
+            from .vectorized import generate_arrays
+
+            kinds, addresses, sizes = generate_arrays(self.params, length)
+
+        params = self.params
+        metadata = TraceMetadata(
+            name=params.name,
+            architecture=params.architecture,
+            language=params.language,
+            description=params.description,
+            extra={"seed": params.seed, "synthetic": True},
+        )
+        trace = Trace(kinds, addresses, sizes, metadata)
+        if params.monitor_style:
+            trace = merge_fetch_kinds(trace)
+        return trace
+
+    def _generate_reference(self, length: int):
+        """The scalar oracle: one engine step per reference."""
         params = self.params
         rng = BatchedRandom(np.random.SeedSequence([params.seed, 0xC0FFEE]))
         code = CodeEngine(params.code, rng.spawn())
@@ -95,19 +151,27 @@ class SyntheticWorkload:
                 produced += 1
                 data_refs += 1
 
-        metadata = TraceMetadata(
-            name=params.name,
-            architecture=params.architecture,
-            language=params.language,
-            description=params.description,
-            extra={"seed": params.seed, "synthetic": True},
-        )
-        trace = Trace(kinds, addresses, sizes, metadata)
-        if params.monitor_style:
-            trace = merge_fetch_kinds(trace)
-        return trace
+        return kinds, addresses, sizes
 
 
-def generate_trace(params: WorkloadParameters, length: int) -> Trace:
+def generate_trace(
+    params: WorkloadParameters, length: int, *, engine: str = "auto"
+) -> Trace:
     """Convenience wrapper: ``SyntheticWorkload(params).generate(length)``."""
-    return SyntheticWorkload(params).generate(length)
+    return SyntheticWorkload(params).generate(length, engine=engine)
+
+
+def trace_identity(params: WorkloadParameters, length: int) -> dict:
+    """Content identity of ``generate_trace(params, length)``.
+
+    Everything that determines the emitted reference stream — the full
+    parameter document, the requested length, and the generator semantics
+    version — and nothing else (engine choice is excluded: all engines
+    emit bit-identical streams).  Used as the
+    :class:`~repro.trace.store.TraceStore` key document.
+    """
+    return {
+        "generator": GENERATOR_VERSION,
+        "length": length,
+        "params": asdict(params),
+    }

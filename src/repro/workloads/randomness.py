@@ -13,7 +13,7 @@ import math
 
 import numpy as np
 
-__all__ = ["BatchedRandom"]
+__all__ = ["BatchedRandom", "pareto_position"]
 
 _BLOCK = 8192
 
@@ -62,11 +62,36 @@ class BatchedRandom:
             return 1
         return 1 + int(math.log(u) / math.log(1.0 - 1.0 / mean))
 
+    def spawn_seed(self) -> int:
+        """Seed for an independent child stream.
+
+        Exposed separately from :meth:`spawn` so callers that need both a
+        scalar child (the reference engines) and bulk access to the same
+        stream (the vectorized generator) can derive them from one seed:
+        ``numpy.random.default_rng(seed)`` drawn in any chunking vends the
+        exact uniforms ``BatchedRandom(seed)`` would.
+        """
+        return int(self._rng.integers(0, 2**63 - 1))
+
     def spawn(self) -> "BatchedRandom":
         """Independent child stream (deterministic given this stream's state)."""
-        return BatchedRandom(self._rng.integers(0, 2**63 - 1))
+        return BatchedRandom(self.spawn_seed())
 
     @property
     def generator(self) -> np.random.Generator:
         """The underlying numpy generator (for bulk draws)."""
         return self._rng
+
+
+def pareto_position(u: float, power: float) -> int:
+    """Discretized-Pareto stack position: ``int(u**power)``, clipped.
+
+    Both generator engines use this primitive so that the scalar reference
+    path and the vectorized path truncate the *same* float64: the power is
+    evaluated through :func:`numpy.power` (bit-identical to the elementwise
+    array op), and the result is clipped below 2**62 before truncation so
+    extreme draws (``u`` near 0 with a steep tail) cannot overflow int64.
+    """
+    if u <= 0.0:
+        u = 1e-12
+    return int(min(float(np.power(u, power)), 2.0**62))

@@ -1,0 +1,752 @@
+"""Event-driven vectorized synthetic-trace generation.
+
+Produces the exact reference stream of the scalar engines
+(``engine="reference"`` in :mod:`~repro.workloads.generator`) at millions
+of references per second.  The approach, in three stages:
+
+1. **Control-flow walk** (:func:`_walk_code`): instead of stepping one
+   instruction at a time, the walk jumps from *event* to *event* — branch
+   decisions, loop-body calls, helper returns, procedure fall-offs.  The
+   purpose-decomposed streams make the jump distances computable: the
+   branch and loop-call streams are consumed at exactly one uniform per
+   (non-loop / loop) instruction, so the next decision is located by bulk
+   threshold-scanning the stream (:class:`_TriggerStream`) rather than by
+   drawing scalars.  Everything between two events is a straight ascending
+   instruction run, recorded as a *piece* ``(start_pc, n, repeat, prev)``;
+   steady loop sweeps compress to one piece with a repeat count.
+
+2. **Instruction materialization**: pieces expand to per-instruction
+   arrays with ``np.repeat``/``arange`` tricks.  Per-instruction ifetch
+   counts come from word arithmetic (including the ibm370-style same-word
+   dedup); configs where every instruction fetches exactly one word — all
+   the catalog's no-interface-memory machines — take a closed-form lane
+   where the fetch count prefix sum is just ``arange``.  The data-pacing
+   rule ``d = floor(F * ratio)`` vectorizes exactly (verified against
+   Python's int/float arithmetic).
+
+3. **Data-side materialization**: component choice, stack offsets, scan
+   runs, write decisions and working-set positions each bulk-draw their
+   dedicated stream; only the LRU-stack move-to-front update and the
+   scan-refill picks remain scalar loops, both over small subsets (a
+   position-1 working-set reference reads the stack top without moving
+   anything, so only deeper positions enter the Python loop).
+
+Every fetch/data reference lands at an output position computed from the
+interleaving invariant (instruction *i*'s fetches at ``F_{i-1}+d_{i-1}``
+onward, its data at ``F_i+d_{i-1}`` onward), so the final arrays are
+written with three scatters and truncated to the requested length —
+bit-identical to the scalar loop's early-exit truncation.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+
+import numpy as np
+
+from ..trace.record import AccessKind
+from .code import _MAX_CALL_DEPTH, _MEAN_HELPER_LENGTH, CodeEngine
+from .data import _LINE, _MAX_FRAMES, DATA_BASE, STACK_TOP, DataEngine
+from .parameters import WorkloadParameters
+from .randomness import BatchedRandom
+
+__all__ = ["generate_arrays"]
+
+_IFETCH = int(AccessKind.IFETCH)
+_READ = int(AccessKind.READ)
+_WRITE = int(AccessKind.WRITE)
+
+_EV_CALL = 1
+_EV_RETURN = 2
+
+_BIG = 1 << 62
+#: Upper bound on instructions consumed per walk iteration, so the walk
+#: re-checks the stop condition inside very long event-free stretches and
+#: over-generation stays bounded.
+_CHUNK = 1 << 16
+
+
+class _TriggerStream:
+    """Threshold crossings of one bulk-drawn uniform stream.
+
+    The stream is consumed positionally (one uniform per instruction) but
+    only the positions where ``u < threshold`` ever matter; this class
+    materializes those hit positions (and their values, needed for band
+    classification) chunk by chunk.
+    """
+
+    def __init__(self, seed: int, threshold: float) -> None:
+        self._rng = np.random.default_rng(seed)
+        self._threshold = threshold
+        self._drawn = 0
+        self._hits: list[int] = []
+        self._values: list[float] = []
+        self._ptr = 0
+        self._chunk = 1 << 15
+
+    def next_hit(self, cursor: int) -> tuple[int, float]:
+        """First hit at stream position >= ``cursor``: ``(position, u)``."""
+        hits = self._hits
+        values = self._values
+        while True:
+            while self._ptr < len(hits):
+                position = hits[self._ptr]
+                if position >= cursor:
+                    return position, values[self._ptr]
+                self._ptr += 1
+            block = self._rng.random(self._chunk)
+            where = np.flatnonzero(block < self._threshold)
+            base = self._drawn
+            hits.extend((where + base).tolist())
+            values.extend(block[where].tolist())
+            self._drawn = base + self._chunk
+            if self._chunk < (1 << 20):
+                self._chunk <<= 1
+
+
+def _walk_code(
+    code: CodeEngine, width: int, has_memory: bool, ratio: float, length: int
+):
+    """Walk control flow event-to-event; return pieces and events.
+
+    Returns:
+        ``(p0s, ns, reps, prevs, events)`` — parallel piece lists (start
+        pc, instruction count, repeat count, interface last-word before the
+        piece) and ``events`` as ``(instruction_ordinal, type)`` tuples.
+    """
+    model = code.model
+    L = model.instruction_bytes
+    Lm1 = L - 1
+    w = width
+    entries = code._entries
+    sizes = code._sizes
+    cum_weights = np.asarray(code._cumulative).tolist()
+    rank_map = code._rank_map
+    proc_count = model.procedure_count
+    phase = model.phase_instructions
+    p_loop = model.loop_start_probability
+    p_call = model.call_probability
+    p_skip = model.short_jump_probability
+    p_call2 = p_loop + 2.0 * p_call
+    p_any = p_call2 + p_skip
+    q = model.loop_call_probability
+    mean_body = model.mean_loop_body
+    mean_iters = model.mean_loop_iterations
+    loop_shape_uniform = code._loop_shape.uniform
+    helper_uniform = code._helper.uniform
+    skip_integer = code._skip.integer
+    proc_uniform = code._proc_picker.uniform
+    log = math.log
+    # Inlined geometric draws: same uniforms, same float expression as
+    # BatchedRandom.geometric, with the constant denominator hoisted.
+    den_body = log(1.0 - 1.0 / mean_body) if mean_body > 1.0 else 0.0
+    den_iters = log(1.0 - 1.0 / mean_iters) if mean_iters > 1.0 else 0.0
+    den_helper = log(1.0 - 1.0 / _MEAN_HELPER_LENGTH)
+
+    branch = _TriggerStream(code.branch_seed, p_any) if p_any > 0.0 else None
+    loop_call = _TriggerStream(code.loop_call_seed, q) if q > 0.0 else None
+
+    # Execution state, continuing from the freshly-constructed engine.
+    proc = code._proc
+    pc = code._pc
+    end = entries[proc] + sizes[proc]
+    stack: list[tuple] = []
+    depth = 0  # mirrors len(stack)
+    helper_left: int | None = None
+    looping = False
+    loop_start = loop_body = body_left = iters_left = 0
+    instr = 0  # instructions executed (1-based ordinal of the latest)
+    F = 0  # ifetches emitted
+    prev = -1  # interface last-word state
+    cb = 0  # branch uniforms consumed
+    cl = 0  # loop-call uniforms consumed
+
+    p0s: list[int] = []
+    ns: list[int] = []
+    reps: list[int] = []
+    prevs: list[int] = []
+    events: list[tuple[int, int]] = []
+    ap_p0 = p0s.append
+    ap_n = ns.append
+    ap_rep = reps.append
+    ap_prev = prevs.append
+    ev_append = events.append
+
+    if has_memory:
+        simple = False
+    else:
+        # Straddle count of an instruction depends on pc mod w only;
+        # per-piece totals come from a periodic table over pc phases.
+        period = w // math.gcd(L, w)
+        straddle = [((i * L) % w + Lm1) // w for i in range(period)]
+        s_total = sum(straddle)
+        simple = s_total == 0  # exactly one fetch per instruction
+        s_cum = [0]
+        for i in range(2 * period):
+            s_cum.append(s_cum[-1] + straddle[i % period])
+
+    if has_memory:
+
+        def emit(p0: int, n: int, rep: int = 1) -> None:
+            """Record an ascending run of ``n`` instructions (``rep`` sweeps)."""
+            nonlocal F, prev
+            ap_p0(p0)
+            ap_n(n)
+            ap_rep(rep)
+            ap_prev(prev)
+            aw0 = p0 // w
+            lw0 = (p0 + Lm1) // w
+            lw_end = (p0 + (n - 1) * L + Lm1) // w
+            # Only the run's first word can be buffered: the interface
+            # updates last-word as it walks the ascending span, so words
+            # after the first always differ from the running state.
+            c = lw0 - aw0 + 1 - (prev == aw0) + (lw_end - lw0)
+            # rep > 1 only for steady sweeps where prev == lw_end already,
+            # so c is the per-sweep count for every repeat.
+            F += c * rep
+            prev = lw_end
+
+    elif simple:
+
+        def emit(p0: int, n: int, rep: int = 1) -> None:
+            nonlocal F
+            ap_p0(p0)
+            ap_n(n)
+            ap_rep(rep)
+            F += n * rep
+
+    else:
+
+        def emit(p0: int, n: int, rep: int = 1) -> None:
+            nonlocal F
+            ap_p0(p0)
+            ap_n(n)
+            ap_rep(rep)
+            i0 = (p0 // L) % period
+            full, rem = divmod(n, period)
+            F += (n + full * s_total + s_cum[i0 + rem] - s_cum[i0]) * rep
+
+    def advance_loop(m: int) -> None:
+        """Run ``m`` loop-body instructions (normal accounting, no events)."""
+        nonlocal pc, body_left, iters_left, looping, instr
+        instr += m
+        while m > 0:
+            take = body_left if body_left < m else m
+            emit(pc, take)
+            m -= take
+            body_left -= take
+            pc += take * L
+            if body_left == 0:
+                iters_left -= 1
+                if iters_left <= 0:
+                    looping = False  # exit: pc is already the fall-through
+                    return
+                body_left = loop_body
+                pc = loop_start
+                if m >= loop_body:
+                    # Steady full sweeps: prev is the sweep's own last
+                    # word after the pass above, so batch with a repeat.
+                    fulls = m // loop_body
+                    if fulls > iters_left:
+                        fulls = iters_left
+                    emit(loop_start, loop_body, rep=fulls)
+                    m -= fulls * loop_body
+                    iters_left -= fulls
+                    if iters_left <= 0:
+                        looping = False
+                        pc = loop_start + loop_body * L
+                        return
+                    pc = loop_start
+
+    def ret_from_call() -> None:
+        nonlocal pc, proc, end, looping, helper_left, depth
+        nonlocal loop_start, loop_body, body_left, iters_left
+        pc, proc, saved, helper_left = stack.pop()
+        depth -= 1
+        end = entries[proc] + sizes[proc]
+        if saved is None:
+            looping = False
+        else:
+            looping = True
+            loop_start, loop_body, body_left, iters_left = saved
+
+    def pick_procedure() -> int:
+        rank = bisect_right(cum_weights, proc_uniform())
+        offset = instr // phase if phase else 0
+        return rank_map[(rank + offset) % proc_count]
+
+    while F + int(F * ratio) < length:
+        if looping:
+            k_end = body_left + loop_body * (iters_left - 1)
+            # Mid-pass fall-off: possible only when the loop body extends
+            # past the procedure end.  Pass-boundary instructions never
+            # fall — their next pc is the wrap target (or the exit, which
+            # k_end covers) — so only distances up to body_left - 1 in the
+            # current pass (loop_body - 1 in later passes) qualify.  The
+            # clamp to 1 covers resuming a suspended loop at a pc already
+            # past the end: that instruction executes, then falls.
+            k_f = _BIG
+            kf = (end - pc) // L
+            if kf < 1:
+                kf = 1
+            if kf <= body_left - 1:
+                k_f = kf
+            elif iters_left > 1:
+                kf = (end - loop_start) // L
+                if kf < 1:
+                    kf = 1
+                if kf <= loop_body - 1:
+                    k_f = body_left + kf
+            if loop_call is not None and depth < _MAX_CALL_DEPTH:
+                hit, _ = loop_call.next_hit(cl)
+                k_t = hit - cl + 1
+            else:
+                k_t = _BIG
+            k_h = (
+                (helper_left if helper_left > 1 else 1)
+                if (helper_left is not None and depth)
+                else _BIG
+            )
+            k = k_t if k_t < k_end else k_end
+            if k_f < k:
+                k = k_f
+            if k_h <= k:
+                # Helper countdown expires: the return step executes one
+                # instruction at the current pc, consumes nothing, pops.
+                gap = k_h - 1
+                if gap:
+                    advance_loop(gap)
+                    if q > 0.0:
+                        cl += gap
+                emit(pc, 1)
+                instr += 1
+                ret_from_call()
+                ev_append((instr - 1, _EV_RETURN))
+                continue  # note: no end-of-procedure check on this path
+            if k > _CHUNK:
+                advance_loop(_CHUNK)
+                if q > 0.0:
+                    cl += _CHUNK
+                if helper_left is not None:
+                    helper_left -= _CHUNK
+                continue
+            advance_loop(k)
+            if q > 0.0:
+                cl += k
+            if helper_left is not None:
+                helper_left -= k
+            etype = 0
+            if k == k_t:
+                # Loop-body call (depth was checked when computing k_t).
+                saved = (
+                    (loop_start, loop_body, body_left, iters_left)
+                    if looping
+                    else None
+                )
+                stack.append((pc, proc, saved, helper_left))
+                depth += 1
+                uh = helper_uniform()
+                helper_left = 3 if uh <= 0.0 else 3 + int(log(uh) / den_helper)
+                looping = False
+                proc = pick_procedure()
+                pc = entries[proc]
+                end = entries[proc] + sizes[proc]
+                etype = _EV_CALL
+            if pc >= end:
+                looping = False
+                if depth:
+                    ret_from_call()
+                    etype = _EV_RETURN
+                else:
+                    proc = pick_procedure()
+                    pc = entries[proc]
+                    end = entries[proc] + sizes[proc]
+            if etype:
+                ev_append((instr - 1, etype))
+        else:
+            if branch is not None:
+                hit, u = branch.next_hit(cb)
+                k_b = hit - cb + 1
+            else:
+                k_b = _BIG
+                u = 1.0
+            k_fall = (end - pc) // L
+            if k_fall < 1:
+                k_fall = 1  # already past the end (post-helper-return)
+            k_h = (
+                (helper_left if helper_left > 1 else 1)
+                if (helper_left is not None and depth)
+                else _BIG
+            )
+            k = k_b if k_b < k_fall else k_fall
+            if k_h <= k:
+                gap = k_h - 1
+                if gap:
+                    emit(pc, gap)
+                    instr += gap
+                    cb += gap
+                    pc += gap * L
+                emit(pc, 1)
+                instr += 1
+                ret_from_call()
+                ev_append((instr - 1, _EV_RETURN))
+                continue
+            if k > _CHUNK:
+                emit(pc, _CHUNK)
+                instr += _CHUNK
+                cb += _CHUNK
+                pc += _CHUNK * L
+                if helper_left is not None:
+                    helper_left -= _CHUNK
+                continue
+            emit(pc, k)
+            instr += k
+            cb += k
+            address = pc + (k - 1) * L
+            pc = address + L
+            if helper_left is not None:
+                helper_left -= k
+            etype = 0
+            if k_b <= k_fall:
+                # Branch-stream trigger: classify the band exactly as the
+                # reference engine's decision cascade does.
+                if u < p_loop:
+                    if mean_body > 1.0:
+                        ub = loop_shape_uniform()
+                        body = 1 if ub <= 0.0 else 1 + int(log(ub) / den_body)
+                    else:
+                        body = 1
+                    if mean_iters > 1.0:
+                        ui = loop_shape_uniform()
+                        iters = 1 if ui <= 0.0 else 1 + int(log(ui) / den_iters)
+                    else:
+                        iters = 1
+                    if iters > 1:
+                        looping = True
+                        loop_start = address
+                        loop_body = body
+                        if body == 1:
+                            iters_left = iters - 1
+                            body_left = 1
+                            pc = address
+                        else:
+                            iters_left = iters
+                            body_left = body - 1
+                elif u < p_loop + p_call and depth < _MAX_CALL_DEPTH:
+                    stack.append((address + L, proc, None, helper_left))
+                    depth += 1
+                    helper_left = None
+                    proc = pick_procedure()
+                    pc = entries[proc]
+                    end = entries[proc] + sizes[proc]
+                    etype = _EV_CALL
+                elif u < p_call2 and depth:
+                    ret_from_call()
+                    etype = _EV_RETURN
+                elif u < p_any:
+                    pc = address + L * (2 + skip_integer(3))
+            if pc >= end:
+                looping = False
+                if depth:
+                    ret_from_call()
+                    etype = _EV_RETURN
+                else:
+                    proc = pick_procedure()
+                    pc = entries[proc]
+                    end = entries[proc] + sizes[proc]
+            if etype:
+                ev_append((instr - 1, etype))
+
+    return p0s, ns, reps, prevs, events
+
+
+def _mtf_lines(data: DataEngine, positions: list[int], ref_index: list[int]):
+    """LRU-stack-model lines for the *structural* working-set references.
+
+    ``positions`` are the pre-drawn Pareto stack positions (all > 1, plus
+    the very first reference whatever its position); ``ref_index`` gives
+    each reference's global data-reference index, which drives the
+    phase-interval cold-line retirements (they fire on the global data
+    clock even when the intervening references were stack or sequential).
+    Position-1 references are *not* passed in: they read the stack top
+    without reordering anything, so the caller forward-fills them from the
+    previous structural line.
+    """
+    from collections import deque
+
+    interval = data.model.phase_interval
+    stack: list[int] = []
+    cold: deque[int] = deque()
+    perm = data._permutation
+    num_lines = data._num_lines
+    allocated = 0
+    next_ret = interval - 1 if interval else None
+    out: list[int] = []
+    append = out.append
+    stack_append = stack.append
+    depth = 0  # mirrors len(stack)
+    for pos, j in zip(positions, ref_index):
+        if next_ret is not None and next_ret <= j:
+            while next_ret <= j:
+                take = depth - 1
+                if take > 2:
+                    take = 2
+                if take > 0:
+                    cold.extend(stack[:take])
+                    del stack[:take]
+                    depth -= take
+                next_ret += interval
+        if pos <= depth:
+            line = stack.pop(depth - pos)
+            stack_append(line)
+        elif allocated < num_lines:
+            line = perm[allocated]
+            allocated += 1
+            stack_append(line)
+            depth += 1
+        elif cold:
+            line = cold.popleft()
+            stack_append(line)
+            depth += 1
+        elif depth:
+            line = stack.pop(0)
+            stack_append(line)
+        else:
+            line = perm[0]
+            stack_append(line)
+            depth += 1
+        append(line)
+    return out
+
+
+def generate_arrays(params: WorkloadParameters, length: int):
+    """Vectorized equivalent of the reference generator's array loop.
+
+    Returns:
+        ``(kinds, addresses, sizes)`` numpy arrays of exactly ``length``
+        entries, bit-identical to ``engine="reference"``.
+    """
+    if length == 0:
+        return (
+            np.empty(0, dtype=np.int8),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int32),
+        )
+
+    rng = BatchedRandom(np.random.SeedSequence([params.seed, 0xC0FFEE]))
+    code = CodeEngine(params.code, rng.spawn())
+    data = DataEngine(params.data, rng.spawn())
+    ratio = (1.0 - params.instruction_fraction) / params.instruction_fraction
+    w = params.ifetch_bytes
+    L = params.code.instruction_bytes
+    has_memory = params.interface_memory
+
+    p0s, ns, reps, prevs, events = _walk_code(code, w, has_memory, ratio, length)
+
+    p0 = np.asarray(p0s, dtype=np.int64)
+    n_ = np.asarray(ns, dtype=np.int64)
+    rep = np.asarray(reps, dtype=np.int64)
+
+    # -- instructions ---------------------------------------------------------
+    if rep.max() > 1:
+        inst_p0 = np.repeat(p0, rep)
+        inst_n = np.repeat(n_, rep)
+    else:
+        inst_p0 = p0
+        inst_n = n_
+    csum = np.cumsum(inst_n)
+    total_i = int(csum[-1])
+    starts_at = csum - inst_n  # global index of each instance's first instr
+    within = np.arange(total_i, dtype=np.int64) - np.repeat(starts_at, inst_n)
+    pcs = np.repeat(inst_p0, inst_n) + within * L
+    if has_memory:
+        inst_prev = np.repeat(np.asarray(prevs, dtype=np.int64), rep)
+        lw = (pcs + (L - 1)) // w
+        f = np.empty(total_i, dtype=np.int64)
+        f[1:] = lw[1:] - lw[:-1]
+        aw0 = inst_p0 // w
+        lw0 = (inst_p0 + (L - 1)) // w
+        # Only the first word of an instance's first instruction can be
+        # buffered (the interface walks ascending words, updating its
+        # last-word state as it goes), so the fetched words of every
+        # instruction form one contiguous run ending at its last word.
+        dedup = inst_prev == aw0
+        f[starts_at] = lw0 - aw0 + 1 - dedup
+        fstart = lw - f + 1
+        fstart[starts_at] = aw0 + dedup
+        F = np.cumsum(f)
+        uniform_fetch = False
+    else:
+        # Without interface memory every instruction fetches each word it
+        # covers.  Catalog machines of this kind all have L <= w with
+        # w % L == 0 — one word per instruction — so the fetch-count
+        # prefix sum is just the instruction ordinal.  Other shapes (an
+        # instruction straddling words) take the general counted path,
+        # with no dedup and therefore no split holes.
+        period = w // math.gcd(L, w)
+        if sum(((i * L) % w + L - 1) // w for i in range(period)) == 0:
+            F = np.arange(1, total_i + 1, dtype=np.int64)
+            uniform_fetch = True
+        else:
+            fstart = pcs // w
+            f = (pcs + (L - 1)) // w - fstart + 1
+            F = np.cumsum(f)
+            uniform_fetch = False
+
+    d = np.floor(F.astype(np.float64) * ratio).astype(np.int64)
+    # Clip to the instructions actually contributing to the first `length`
+    # output positions (the walk over-generates by up to one event gap).
+    keep = min(int(np.searchsorted(F + d, length, side="left")) + 1, total_i)
+    if keep < total_i:
+        F = F[:keep]
+        d = d[:keep]
+        if not uniform_fetch:
+            f = f[:keep]
+            fstart = fstart[:keep]
+    F_total = int(F[-1])
+    D_total = int(d[-1])
+    d_prev = np.empty(len(d), dtype=np.int64)
+    d_prev[0] = 0
+    d_prev[1:] = d[:-1]
+
+    # -- instruction fetches --------------------------------------------------
+    if uniform_fetch:
+        words = pcs[:keep] // w
+        fetch_positions = np.arange(keep, dtype=np.int64) + d_prev
+    else:
+        fcum = F - f
+        words = np.repeat(fstart, f) + (
+            np.arange(F_total, dtype=np.int64) - np.repeat(fcum, f)
+        )
+        fetch_positions = np.repeat(d_prev, f) + np.arange(F_total, dtype=np.int64)
+
+    # -- data-reference plumbing ----------------------------------------------
+    dm = params.data
+    ab = dm.access_bytes
+    data_positions = np.arange(D_total, dtype=np.int64) + np.repeat(F, d - d_prev)
+
+    # Stack-pointer schedule from the call/return events.
+    sp = STACK_TOP
+    frames: list[int] = []
+    frame_integer = data._frame.integer
+    seg_starts = [0]
+    seg_sp = [sp]
+    if events:
+        ordinals = [e[0] for e in events]
+        cut = len(ordinals)
+        if ordinals[-1] >= keep:
+            cut = int(np.searchsorted(np.asarray(ordinals), keep, side="left"))
+        event_at = d_prev[np.asarray(ordinals[:cut], dtype=np.int64)].tolist()
+        for index in range(cut):
+            if events[index][1] == _EV_CALL:
+                if len(frames) < _MAX_FRAMES:
+                    frame = 16 * (1 + frame_integer(4))
+                    frames.append(frame)
+                    sp -= frame
+            elif frames:
+                sp += frames.pop()
+            at = event_at[index]
+            if at == seg_starts[-1]:
+                seg_sp[-1] = sp
+            else:
+                seg_starts.append(at)
+                seg_sp.append(sp)
+    bounds = np.minimum(np.asarray(seg_starts + [D_total], dtype=np.int64), D_total)
+    sp_per_ref = np.repeat(np.asarray(seg_sp, dtype=np.int64), np.diff(bounds))
+
+    # -- data components ------------------------------------------------------
+    comp = np.random.default_rng(data.component_seed).random(D_total)
+    sf = dm.stack_fraction
+    is_stack = comp < sf
+    is_seq = ~is_stack & (comp < sf + dm.sequential_fraction)
+    is_ws = ~(is_stack | is_seq)
+
+    addr = np.empty(D_total, dtype=np.int64)
+    writable = np.empty(D_total, dtype=bool)
+
+    stack_refs = np.flatnonzero(is_stack)
+    if stack_refs.size:
+        us = np.random.default_rng(data.stack_offset_seed).random(stack_refs.size)
+        offsets = ((us * dm.stack_window_bytes).astype(np.int64) // ab) * ab
+        addr[stack_refs] = sp_per_ref[stack_refs] + offsets
+    writable[stack_refs] = True  # stacks are written by their nature
+
+    seq_refs = np.flatnonzero(is_seq)
+    if seq_refs.size:
+        n_streams = dm.sequential_streams
+        up = np.random.default_rng(data.stream_pick_seed).random(seq_refs.size)
+        picks = (up * n_streams).astype(np.int64)
+        seq_addr = np.empty(seq_refs.size, dtype=np.int64)
+        for k in range(n_streams):
+            members = np.flatnonzero(picks == k)
+            m = members.size
+            if m == 0:
+                continue
+            position, remaining = data._streams[k]
+            run_starts = [position]
+            run_lens = [remaining if remaining < m else m]
+            covered = run_lens[0]
+            # Refills replay the engine's own pick path (same stream, same
+            # primitive), so refill choices stay bit-identical.
+            while covered < m:
+                start, elements = data._pick_array(k)
+                take = elements if elements < m - covered else m - covered
+                run_starts.append(start)
+                run_lens.append(take)
+                covered += take
+            lens = np.asarray(run_lens, dtype=np.int64)
+            starts = np.asarray(run_starts, dtype=np.int64)
+            offs = np.arange(m, dtype=np.int64) - np.repeat(
+                np.cumsum(lens) - lens, lens
+            )
+            seq_addr[members] = np.repeat(starts, lens) + offs * ab
+        addr[seq_refs] = seq_addr
+
+    ws_refs = np.flatnonzero(is_ws)
+    if ws_refs.size:
+        uw = np.random.default_rng(data.ws_position_seed).random(ws_refs.size)
+        uw = np.where(uw <= 0.0, 1e-12, uw)
+        positions = np.minimum(
+            np.power(uw, data._pareto_power), 2.0**62
+        ).astype(np.int64)
+        # Position-1 references read the stack top and leave the stack
+        # unchanged, so only deeper positions are processed in Python; the
+        # top between structural references is the last structural line.
+        structural = positions > 1
+        structural[0] = True  # the first reference allocates (empty stack)
+        s_at = np.flatnonzero(structural)
+        s_lines = _mtf_lines(
+            data, positions[s_at].tolist(), ws_refs[s_at].tolist()
+        )
+        fill = np.diff(np.append(s_at, positions.size))
+        lines = np.repeat(np.asarray(s_lines, dtype=np.int64), fill)
+        slots = max(1, _LINE // ab)
+        usl = np.random.default_rng(data.ws_slot_seed).random(ws_refs.size)
+        addr[ws_refs] = (
+            DATA_BASE + lines * _LINE + (usl * slots).astype(np.int64) * ab
+        )
+
+    nonstack = np.flatnonzero(~is_stack)
+    if nonstack.size:
+        line_of = addr[nonstack] // _LINE
+        writable[nonstack] = (
+            (line_of * 2654435761) >> 16
+        ) % 1000 < 1000 * data._writable_share
+
+    u_write = np.random.default_rng(data.write_seed).random(D_total)
+    is_write = writable & (u_write < data._write_given_writable)
+
+    # -- assembly -------------------------------------------------------------
+    capacity = F_total + D_total
+    out_kinds = np.empty(capacity, dtype=np.int8)
+    out_addr = np.empty(capacity, dtype=np.int64)
+    out_sizes = np.empty(capacity, dtype=np.int32)
+    out_kinds[fetch_positions] = _IFETCH
+    out_addr[fetch_positions] = words * w
+    out_sizes[fetch_positions] = w
+    out_kinds[data_positions] = np.where(is_write, _WRITE, _READ)
+    out_addr[data_positions] = addr
+    out_sizes[data_positions] = ab
+    # Views, not copies: the walk overshoots by at most one event gap.
+    return out_kinds[:length], out_addr[:length], out_sizes[:length]
