@@ -2,8 +2,9 @@
 
 Conventional pytest-benchmark microbenchmarks (multiple rounds) over the
 hot paths: the specialized replay kernels (one per replacement policy,
-plus Belady's MIN), the generic per-access engine, the one-pass
-stack-distance sweep, the all-associativity surface kernel, trace
+plus Belady's MIN), the generic per-access engine, mechanism-attached
+replay (victim/miss caches, stream buffers, a two-level sweep), the
+one-pass stack-distance sweep, the all-associativity surface kernel, trace
 generation — both engines, per workload family, at ``REPRO_BENCH_GEN_REFS``
 references — the shared trace store's cold-write and warm-mmap paths,
 and the ``.rtrc`` load paths (memory-mapped vs eager copy).
@@ -25,6 +26,7 @@ from common import RESULTS_DIR
 
 from repro.core import (
     CacheGeometry,
+    MechanismConfig,
     UnifiedCache,
     associativity_miss_surface,
     belady_min_misses,
@@ -140,6 +142,77 @@ def test_simulator_generic_throughput(benchmark, trace, throughput_log):
     report = benchmark(run)
     assert report.references == REFS
     _record(throughput_log, "simulator_generic", benchmark, REFS)
+
+
+def test_simulator_victim_cache_throughput(benchmark, trace, throughput_log):
+    # Mechanism-carrying organizations always replay on the generic
+    # engine; this pins the cost of a victim cache on the miss path.
+    def run():
+        return simulate(
+            trace,
+            UnifiedCache(
+                CacheGeometry(16384, 16, 1),
+                miss_path=MechanismConfig(victim_entries=4).build(16),
+            ),
+        )
+
+    report = benchmark(run)
+    assert report.references == REFS
+    assert "victim-cache" in report.mechanism_names
+    _record(throughput_log, "simulator_victim_cache", benchmark, REFS)
+
+
+def test_simulator_miss_cache_throughput(benchmark, trace, throughput_log):
+    def run():
+        return simulate(
+            trace,
+            UnifiedCache(
+                CacheGeometry(16384, 16, 1),
+                miss_path=MechanismConfig(miss_entries=4).build(16),
+            ),
+        )
+
+    report = benchmark(run)
+    assert report.references == REFS
+    assert "miss-cache" in report.mechanism_names
+    _record(throughput_log, "simulator_miss_cache", benchmark, REFS)
+
+
+def test_simulator_stream_buffers_throughput(benchmark, trace, throughput_log):
+    def run():
+        return simulate(
+            trace,
+            UnifiedCache(
+                CacheGeometry(16384, 16, 1),
+                miss_path=MechanismConfig(stream_buffers=4, stream_depth=4).build(16),
+            ),
+        )
+
+    report = benchmark(run)
+    assert report.references == REFS
+    assert "stream-buffers" in report.mechanism_names
+    _record(throughput_log, "simulator_stream_buffers", benchmark, REFS)
+
+
+def test_simulator_two_level_sweep_throughput(benchmark, trace, throughput_log):
+    # A small two-level sweep: the same trace through DL1+L2 at several
+    # primary sizes (the hierarchy study's inner loop).
+    sizes = (1024, 4096, 16384)
+
+    def run():
+        reports = []
+        for size in sizes:
+            organization = UnifiedCache(
+                CacheGeometry(size, 16, 1),
+                miss_path=MechanismConfig(l2_size=size * 16, l2_line_size=32).build(16),
+            )
+            reports.append(simulate(trace, organization))
+        return reports
+
+    reports = benchmark(run)
+    assert all("l2" in r.mechanism_names for r in reports)
+    # One run replays the trace once per primary size.
+    _record(throughput_log, "simulator_two_level_sweep", benchmark, REFS * len(sizes))
 
 
 def test_stack_distance_throughput(benchmark, trace, throughput_log):

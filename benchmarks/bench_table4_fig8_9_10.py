@@ -25,6 +25,18 @@ def test_table4_fig8_9_10(benchmark):
     print()
     print(text)
 
+    if study.has_stream:
+        # Section 3.5 rerun: stream buffers as the third fetch policy.
+        stream = study.render_stream_table()
+        save_result("table4_stream", stream)
+        print()
+        print(stream)
+        for size, (unified_ratio, _, _) in study.stream_table().items():
+            # Stream buffers trade extra traffic for fewer effective
+            # misses; the traffic penalty must at least be finite and
+            # the policy must never *add* effective misses on average.
+            assert unified_ratio >= 0.999, size
+
     table = study.table4()
     sizes = list(study.sizes)
     unified = np.array([table[size][0] for size in sizes])

@@ -10,7 +10,9 @@ One module per table/figure family — see DESIGN.md's experiment index:
   data of Sections 1.2 / 4.1;
 * :mod:`repro.analysis.design_targets` — Table 5 and the Section 3.4/4.1
   estimates;
-* :mod:`repro.analysis.fudge` — Section 4's cross-architecture factors.
+* :mod:`repro.analysis.fudge` — Section 4's cross-architecture factors;
+* :mod:`repro.analysis.mechanisms` — miss-path mechanism study (beyond
+  the paper: victim/miss caches, stream buffers, two-level hierarchy).
 """
 
 from .sweep import (
@@ -37,6 +39,12 @@ from .prefetch import (
     PrefetchStudyResult,
     PrefetchWorkloadResult,
     prefetch_study,
+)
+from .mechanisms import (
+    DEFAULT_VARIANTS,
+    MechanismStudyResult,
+    WorkloadMechanismResult,
+    mechanism_study,
 )
 from .published import (
     ALPERT83_Z80000,
@@ -93,6 +101,10 @@ __all__ = [
     "PrefetchStudyResult",
     "PrefetchWorkloadResult",
     "prefetch_study",
+    "DEFAULT_VARIANTS",
+    "MechanismStudyResult",
+    "WorkloadMechanismResult",
+    "mechanism_study",
     "ALPERT83_Z80000",
     "CLARK83_VAX",
     "HARD80_PROBLEM",

@@ -117,7 +117,15 @@ class PolicyComparison:
 
 @dataclass(frozen=True, slots=True)
 class PrefetchWorkloadResult:
-    """All prefetch measurements for one workload."""
+    """All prefetch measurements for one workload.
+
+    The ``*_stream`` comparisons hold the third policy — stream buffers on
+    the miss path (:class:`repro.core.misspath.StreamBuffers`) — in the
+    "prefetch" slots of a :class:`PolicyComparison`, against the same
+    demand baselines.  Stream miss ratios are *effective* (buffer hits
+    removed) and stream traffic includes buffer fetches; both are None
+    when the study ran without the stream policy.
+    """
 
     label: str
     sizes: tuple[int, ...]
@@ -125,6 +133,9 @@ class PrefetchWorkloadResult:
     unified: PolicyComparison
     instruction: PolicyComparison
     data: PolicyComparison
+    unified_stream: PolicyComparison | None = None
+    instruction_stream: PolicyComparison | None = None
+    data_stream: PolicyComparison | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -134,16 +145,18 @@ class PrefetchStudyResult:
     sizes: tuple[int, ...]
     workloads: dict[str, PrefetchWorkloadResult]
 
-    def _aggregate_traffic(self, side: str) -> np.ndarray:
-        """Table 4 aggregation: sum prefetch traffic / sum demand traffic."""
+    def _aggregate_traffic(self, attr: str) -> np.ndarray:
+        """Table 4 aggregation: sum policy traffic / sum demand traffic."""
         demand = np.zeros(len(self.sizes))
-        prefetch = np.zeros(len(self.sizes))
+        policy = np.zeros(len(self.sizes))
         for result in self.workloads.values():
-            pair: PolicyComparison = getattr(result, side)
+            pair: PolicyComparison | None = getattr(result, attr)
+            if pair is None:
+                continue
             demand += np.asarray(pair.traffic_demand, dtype=float)
-            prefetch += np.asarray(pair.traffic_prefetch, dtype=float)
+            policy += np.asarray(pair.traffic_prefetch, dtype=float)
         with np.errstate(divide="ignore", invalid="ignore"):
-            return np.where(demand > 0, prefetch / np.maximum(demand, 1e-300), 1.0)
+            return np.where(demand > 0, policy / np.maximum(demand, 1e-300), 1.0)
 
     def table4(self) -> dict[int, tuple[float, float, float]]:
         """Average traffic ratios per size: (unified, instruction, data)."""
@@ -155,22 +168,40 @@ class PrefetchStudyResult:
             for size, u, i, d in zip(self.sizes, unified, instruction, data)
         }
 
-    def figure_series(self, figure: int) -> dict[str, list[float]]:
+    @property
+    def has_stream(self) -> bool:
+        """True iff the study also ran the stream-buffer policy."""
+        return any(
+            result.unified_stream is not None for result in self.workloads.values()
+        )
+
+    def figure_series(self, figure: int, policy: str = "prefetch") -> dict[str, list[float]]:
         """Per-workload series for one of Figures 5-10.
 
         Figure 5/6/7 are miss-ratio ratios for unified/instruction/data;
-        8/9/10 the corresponding traffic ratios.
+        8/9/10 the corresponding traffic ratios.  ``policy="stream"``
+        returns the same figures for the stream-buffer policy instead of
+        prefetch-always.
 
         Raises:
-            ValueError: for a figure number outside 5-10.
+            ValueError: for a figure number outside 5-10, an unknown
+                policy, or ``policy="stream"`` on a study run without it.
         """
         side = {5: "unified", 6: "instruction", 7: "data",
                 8: "unified", 9: "instruction", 10: "data"}.get(figure)
         if side is None:
             raise ValueError(f"figure must be in 5..10, got {figure}")
+        if policy not in ("prefetch", "stream"):
+            raise ValueError(f"policy must be 'prefetch' or 'stream', got {policy!r}")
+        attr = side if policy == "prefetch" else f"{side}_stream"
         out = {}
         for label, result in self.workloads.items():
-            pair: PolicyComparison = getattr(result, side)
+            pair: PolicyComparison | None = getattr(result, attr)
+            if pair is None:
+                raise ValueError(
+                    "this study ran without the stream policy "
+                    "(prefetch_study(include_stream=True) enables it)"
+                )
             values = pair.miss_ratio_ratios() if figure <= 7 else pair.traffic_ratios()
             out[label] = [float(v) for v in values]
         return out
@@ -197,6 +228,72 @@ class PrefetchStudyResult:
             rows,
             title="Table 4: memory-traffic ratio, prefetch-always : demand "
             "(sum over workloads)",
+        )
+
+    def stream_table(self) -> dict[int, tuple[float, float, float]]:
+        """Stream:demand traffic ratios per size: (unified, instr, data).
+
+        The stream-buffer analogue of :meth:`table4`.
+
+        Raises:
+            ValueError: if the study ran without the stream policy.
+        """
+        if not self.has_stream:
+            raise ValueError(
+                "this study ran without the stream policy "
+                "(prefetch_study(include_stream=True) enables it)"
+            )
+        unified = self._aggregate_traffic("unified_stream")
+        instruction = self._aggregate_traffic("instruction_stream")
+        data = self._aggregate_traffic("data_stream")
+        return {
+            size: (float(u), float(i), float(d))
+            for size, u, i, d in zip(self.sizes, unified, instruction, data)
+        }
+
+    def render_stream_table(self) -> str:
+        """The Section 3.5 rerun with stream buffers as the third policy.
+
+        Per size: mean effective-miss-ratio ratio (stream:demand, over
+        workloads) and aggregate traffic ratio, per cache side — directly
+        comparable with :meth:`render_table4` and Figures 5-10.
+        """
+        traffic = self.stream_table()
+        rows = []
+        for index, size in enumerate(self.sizes):
+            miss_means = []
+            for side in ("unified", "instruction", "data"):
+                ratios = [
+                    getattr(result, f"{side}_stream").miss_ratio_ratios()[index]
+                    for result in self.workloads.values()
+                    if getattr(result, f"{side}_stream") is not None
+                ]
+                miss_means.append(float(np.mean(ratios)) if ratios else float("nan"))
+            t_u, t_i, t_d = traffic[size]
+            rows.append(
+                (
+                    size,
+                    f"{miss_means[0]:.3f}",
+                    f"{miss_means[1]:.3f}",
+                    f"{miss_means[2]:.3f}",
+                    f"{t_u:.3f}",
+                    f"{t_i:.3f}",
+                    f"{t_d:.3f}",
+                )
+            )
+        return render_table(
+            [
+                "bytes",
+                "miss:unified",
+                "miss:icache",
+                "miss:dcache",
+                "traffic:unified",
+                "traffic:icache",
+                "traffic:dcache",
+            ],
+            rows,
+            title="Stream buffers as third fetch policy: effective-miss and "
+            "traffic ratios, stream : demand",
         )
 
     def render_figures(self) -> str:
@@ -241,8 +338,9 @@ def prefetch_study(
     workers: int | None = None,
     cache=None,
     sampling=None,
+    include_stream: bool = True,
 ) -> PrefetchStudyResult:
-    """Run the full prefetch study (4 simulations per workload per size).
+    """Run the full prefetch study (4-6 simulations per workload per size).
 
     Every simulation is one campaign cell, so the whole study fans out
     across the worker pool and memoizes per cell.
@@ -260,18 +358,23 @@ def prefetch_study(
             point estimates extrapolated to the full trace; cold-start
             bias bounds are heuristic under prefetching — see
             ``docs/sampling.md``).
+        include_stream: also run ``fetch="stream"`` — demand fetch backed
+            by default miss-path stream buffers — as a third policy
+            (Section 3.5 rerun; 2 extra cells per workload per size).
 
     Returns:
         The assembled study results.
     """
     labels = list(labels) if labels is not None else list(PREFETCH_WORKLOADS)
+    policies = ("demand", "prefetch-always", "stream") if include_stream else (
+        "demand", "prefetch-always")
     quanta: dict[str, int] = {}
     cells: list[CampaignCell] = []
     for label in labels:
         spec, quantum = _workload_spec(label, length)
         quanta[label] = quantum
         for size in sizes:
-            for fetch in ("demand", "prefetch-always"):
+            for fetch in policies:
                 for split in (False, True):
                     cells.append(
                         CampaignCell(
@@ -293,53 +396,94 @@ def prefetch_study(
     )
     reports = iter(campaign.outcomes)
 
+    suffixes = {"demand": "demand", "prefetch-always": "prefetch", "stream": "stream"}
     results: dict[str, PrefetchWorkloadResult] = {}
     for label in labels:
         quantum = quanta[label]
         collected: dict[tuple[str, str], list] = {
-            (side, metric): []
+            (side, f"{metric}_{suffix}"): []
             for side in ("unified", "instruction", "data")
-            for metric in ("miss_demand", "miss_prefetch", "traffic_demand", "traffic_prefetch")
+            for metric in ("miss", "traffic")
+            for suffix in suffixes.values()
         }
         for size in sizes:
-            for suffix in ("demand", "prefetch"):
+            for fetch in policies:
+                suffix = suffixes[fetch]
                 unified = next(reports).value
                 split = next(reports).value
-                collected[("unified", f"miss_{suffix}")].append(unified.miss_ratio)
-                collected[("unified", f"traffic_{suffix}")].append(
-                    unified.overall.memory_traffic_bytes
-                )
-                collected[("instruction", f"miss_{suffix}")].append(
-                    split.instruction.miss_ratio
-                )
-                collected[("instruction", f"traffic_{suffix}")].append(
-                    split.instruction.memory_traffic_bytes
-                )
-                collected[("data", f"miss_{suffix}")].append(split.data.miss_ratio)
-                collected[("data", f"traffic_{suffix}")].append(
-                    split.data.memory_traffic_bytes
-                )
+                if fetch == "stream":
+                    miss_u, traffic_u = (
+                        unified.effective_miss_ratio,
+                        unified.effective_memory_traffic_bytes,
+                    )
+                    miss_i, traffic_i = _stream_side(
+                        split, split.instruction, ("ifetch", "fetch")
+                    )
+                    miss_d, traffic_d = _stream_side(
+                        split, split.data, ("read", "write")
+                    )
+                else:
+                    miss_u = unified.miss_ratio
+                    traffic_u = unified.overall.memory_traffic_bytes
+                    miss_i = split.instruction.miss_ratio
+                    traffic_i = split.instruction.memory_traffic_bytes
+                    miss_d = split.data.miss_ratio
+                    traffic_d = split.data.memory_traffic_bytes
+                collected[("unified", f"miss_{suffix}")].append(miss_u)
+                collected[("unified", f"traffic_{suffix}")].append(traffic_u)
+                collected[("instruction", f"miss_{suffix}")].append(miss_i)
+                collected[("instruction", f"traffic_{suffix}")].append(traffic_i)
+                collected[("data", f"miss_{suffix}")].append(miss_d)
+                collected[("data", f"traffic_{suffix}")].append(traffic_d)
+
+        def _pair(side: str, suffix: str) -> PolicyComparison:
+            return PolicyComparison(
+                tuple(collected[(side, "miss_demand")]),
+                tuple(collected[(side, f"miss_{suffix}")]),
+                tuple(collected[(side, "traffic_demand")]),
+                tuple(collected[(side, f"traffic_{suffix}")]),
+            )
+
         results[label] = PrefetchWorkloadResult(
             label=label,
             sizes=tuple(sizes),
             quantum=quantum,
-            unified=PolicyComparison(
-                tuple(collected[("unified", "miss_demand")]),
-                tuple(collected[("unified", "miss_prefetch")]),
-                tuple(collected[("unified", "traffic_demand")]),
-                tuple(collected[("unified", "traffic_prefetch")]),
+            unified=_pair("unified", "prefetch"),
+            instruction=_pair("instruction", "prefetch"),
+            data=_pair("data", "prefetch"),
+            unified_stream=_pair("unified", "stream") if include_stream else None,
+            instruction_stream=(
+                _pair("instruction", "stream") if include_stream else None
             ),
-            instruction=PolicyComparison(
-                tuple(collected[("instruction", "miss_demand")]),
-                tuple(collected[("instruction", "miss_prefetch")]),
-                tuple(collected[("instruction", "traffic_demand")]),
-                tuple(collected[("instruction", "traffic_prefetch")]),
-            ),
-            data=PolicyComparison(
-                tuple(collected[("data", "miss_demand")]),
-                tuple(collected[("data", "miss_prefetch")]),
-                tuple(collected[("data", "traffic_demand")]),
-                tuple(collected[("data", "traffic_prefetch")]),
-            ),
+            data_stream=_pair("data", "stream") if include_stream else None,
         )
     return PrefetchStudyResult(tuple(sizes), results)
+
+
+def _stream_side(report, side_stats, classes: tuple[str, ...]) -> tuple[float, int]:
+    """Per-side effective miss ratio and memory traffic under stream fetch.
+
+    The stream buffers are shared between the split halves, but their
+    per-class probe counters attribute hits and misses to each side
+    exactly.  Buffer fetch traffic is reconstructed per side as
+    ``hits + depth x misses`` (one top-up per hit, a full refill per
+    allocation); summed over sides it equals the buffers' total
+    ``prefetches``.
+    """
+    buffers = report.mechanism("stream-buffers")
+    hits = sum(getattr(buffers, cls).hits for cls in classes)
+    misses = sum(getattr(buffers, cls).misses for cls in classes)
+    refs = side_stats.references
+    miss = float("nan") if refs == 0 else (side_stats.misses - hits) / refs
+    depth = (
+        (buffers.prefetches - buffers.useful_prefetches) // buffers.misses
+        if buffers.misses
+        else 0
+    )
+    line_size = side_stats.line_size
+    # Memory fills (side fills minus buffer-serviced) plus buffer fetches
+    # collapse to lines_fetched + depth x misses; write-backs unchanged.
+    traffic = (
+        side_stats.lines_fetched + depth * misses + side_stats.dirty_pushes
+    ) * line_size + side_stats.write_through_bytes
+    return miss, traffic

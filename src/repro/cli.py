@@ -53,6 +53,41 @@ def _add_length(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_mechanism_args(parser: argparse.ArgumentParser) -> None:
+    """Miss-path mechanism flags shared by simulate and campaign."""
+    p = parser.add_argument_group("miss-path mechanisms (docs/mechanisms.md)")
+    p.add_argument("--victim", type=int, default=0, metavar="LINES",
+                   help="fully associative victim cache of N lines")
+    p.add_argument("--miss-cache", type=int, default=0, metavar="LINES",
+                   help="fully associative miss cache of N lines")
+    p.add_argument("--stream-buffers", type=int, default=0, metavar="N",
+                   help="N sequential stream buffers on the miss path")
+    p.add_argument("--stream-depth", type=int, default=4, metavar="LINES",
+                   help="lines per stream buffer (default 4)")
+    p.add_argument("--l2", type=int, default=None, metavar="BYTES",
+                   help="unified, inclusive second-level cache capacity")
+    p.add_argument("--l2-line", type=int, default=None, metavar="BYTES",
+                   help="L2 line size (default: the primary line size)")
+    p.add_argument("--l2-assoc", type=int, default=None, metavar="WAYS",
+                   help="L2 associativity (default: fully associative)")
+
+
+def _mechanism_config(args: argparse.Namespace):
+    """Build the MechanismConfig the flags describe, or ``None``."""
+    from .core import MechanismConfig
+
+    config = MechanismConfig(
+        victim_entries=args.victim,
+        miss_entries=args.miss_cache,
+        stream_buffers=args.stream_buffers,
+        stream_depth=args.stream_depth,
+        l2_size=args.l2,
+        l2_line_size=args.l2_line,
+        l2_associativity=args.l2_assoc,
+    )
+    return config if config.active else None
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-cachesim",
@@ -105,10 +140,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--write", default="copy-back",
                    choices=["copy-back", "write-through"])
     p.add_argument("--fetch", default="demand",
-                   choices=["demand", "prefetch-always", "prefetch-tagged"])
+                   choices=["demand", "prefetch-always", "prefetch-tagged",
+                            "stream"])
     p.add_argument("--split", action="store_true", help="split I/D caches")
     p.add_argument("--purge", type=int, default=None,
                    help="purge every N references (task switching)")
+    _add_mechanism_args(p)
     p.add_argument("--stack", action="store_true",
                    help="use the one-pass LRU stack sweep per trace instead "
                    "of direct simulation (fully associative LRU only)")
@@ -165,10 +202,30 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--write", default="copy-back",
                    choices=["copy-back", "write-through"])
     p.add_argument("--fetch", default="demand",
-                   choices=["demand", "prefetch-always", "prefetch-tagged"])
+                   choices=["demand", "prefetch-always", "prefetch-tagged",
+                            "stream"])
     p.add_argument("--split", action="store_true", help="split I/D caches")
     p.add_argument("--purge", type=int, default=None,
                    help="purge every N references (task switching)")
+    _add_mechanism_args(p)
+    _add_length(p)
+
+    p = sub.add_parser(
+        "mechanisms",
+        help="miss-path mechanism study: victim/miss caches, stream "
+        "buffers, and a two-level hierarchy vs. the plain baseline",
+    )
+    p.add_argument("--traces", type=lambda s: s.split(","), default=None,
+                   help="comma-separated trace names (default: all 57)")
+    p.add_argument("--size", type=int, default=4096, help="primary bytes")
+    p.add_argument("--line", type=int, default=16, help="line size in bytes")
+    p.add_argument("--assoc", type=int, default=1,
+                   help="primary associativity (default: direct-mapped; "
+                   "0 = fully associative)")
+    p.add_argument("--no-l2", action="store_true",
+                   help="skip the two-level variant")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes (default: REPRO_WORKERS or CPU count)")
     _add_length(p)
 
     for name, help_text in [
@@ -250,13 +307,17 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
         write = WritePolicy(WriteStrategy.WRITE_THROUGH, allocate_on_write=False)
     fetch = FetchPolicy(args.fetch)
     replacement = policy_factory(args.replacement)
+    config = _mechanism_config(args)
+    miss_path = config.build(args.line) if config is not None else None
     if args.split:
         organization = SplitCache(
-            geometry, replacement=replacement, write_policy=write, fetch_policy=fetch
+            geometry, replacement=replacement, write_policy=write,
+            fetch_policy=fetch, miss_path=miss_path,
         )
     else:
         organization = UnifiedCache(
-            geometry, replacement=replacement, write_policy=write, fetch_policy=fetch
+            geometry, replacement=replacement, write_policy=write,
+            fetch_policy=fetch, miss_path=miss_path,
         )
     report = simulate(trace, organization, purge_interval=args.purge)
     stats = report.overall
@@ -270,13 +331,35 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
     print(f"memory traffic   : {stats.memory_traffic_bytes} bytes "
           f"({stats.lines_fetched} fetches, {stats.lines_written_back} write-backs)")
     print(f"dirty data pushes: {stats.dirty_data_push_fraction:.3f} of {stats.data_pushes}")
+    if report.mechanisms:
+        print(f"effective miss   : {report.effective_miss_ratio:.4f} "
+              f"(assembly, incl. miss-path mechanisms)")
+        print(f"effective traffic: {report.effective_memory_traffic_bytes} bytes")
+        for name, block in report.mechanisms:
+            if name == "l2":
+                detail = (f"local miss ratio {block.miss_ratio:.4f}, "
+                          f"{block.lines_fetched} memory fetches, "
+                          f"{block.dirty_pushes} write-backs")
+            else:
+                hit = 1.0 - block.miss_ratio
+                detail = (f"hit rate {hit:.4f} over {block.references} "
+                          f"probed misses")
+                if name == "stream-buffers":
+                    detail += f", {block.prefetches} lines prefetched"
+            print(f"  {name:15s}: {detail}")
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     import os
 
     from .campaign import run_campaign
-    from .core.jobs import CampaignCell, SimulateJob, StackSweepJob, TraceSpec
+    from .core.jobs import (
+        CampaignCell,
+        MechanismStudyJob,
+        SimulateJob,
+        StackSweepJob,
+        TraceSpec,
+    )
     from .trace.store import TRACE_STORE_ENV
 
     if args.trace_store:
@@ -288,6 +371,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     for name in names:
         catalog.get(name)  # fail fast on unknown traces
     sizes = args.sizes or list(analysis.PAPER_CACHE_SIZES)
+    mechanisms = _mechanism_config(args)
+    if mechanisms is not None and args.stack:
+        raise SystemExit(
+            "--stack is a plain LRU sweep; miss-path mechanism flags "
+            "need direct simulation (drop --stack)"
+        )
 
     cells = []
     if args.stack:
@@ -304,21 +393,23 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         for name in names:
             spec = TraceSpec.catalog(name, args.length)
             for size in sizes:
+                options = dict(
+                    size=size,
+                    line_size=args.line,
+                    associativity=args.assoc,
+                    replacement=args.replacement,
+                    write=args.write,
+                    fetch=args.fetch,
+                    split=args.split,
+                    purge_interval=args.purge,
+                )
+                job = (
+                    SimulateJob(**options)
+                    if mechanisms is None
+                    else MechanismStudyJob(mechanisms=mechanisms, **options)
+                )
                 cells.append(
-                    CampaignCell(
-                        label=f"{name}/{size}",
-                        trace=spec,
-                        job=SimulateJob(
-                            size=size,
-                            line_size=args.line,
-                            associativity=args.assoc,
-                            replacement=args.replacement,
-                            write=args.write,
-                            fetch=args.fetch,
-                            split=args.split,
-                            purge_interval=args.purge,
-                        ),
-                    )
+                    CampaignCell(label=f"{name}/{size}", trace=spec, job=job)
                 )
 
     cache = False if args.no_cache else (args.cache_dir or None)
@@ -408,8 +499,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             for outcome in result.outcomes:
                 name = outcome.label.rsplit("/", 1)[0]
                 series.setdefault(name, []).append(
-                    outcome.value.miss_ratio if outcome.ok else float("nan")
+                    (outcome.value.effective_miss_ratio
+                     if mechanisms is not None
+                     else outcome.value.miss_ratio)
+                    if outcome.ok else float("nan")
                 )
+        if mechanisms is not None:
+            kind += ", effective miss ratio with miss-path mechanisms"
         print(analysis.render_series(
             "trace \\ bytes", sizes, series,
             title=f"Campaign miss ratios ({kind})",
@@ -452,6 +548,17 @@ def main(argv: list[str] | None = None) -> int:
         _cmd_simulate(args)
     elif command == "campaign":
         return _cmd_campaign(args)
+    elif command == "mechanisms":
+        study = analysis.mechanism_study(
+            workloads=args.traces,
+            size=args.size,
+            line_size=args.line,
+            associativity=args.assoc if args.assoc else None,
+            include_l2=not args.no_l2,
+            length=args.length,
+            workers=args.workers,
+        )
+        print(study.summary())
     elif command == "table1":
         result = analysis.table1_experiment(sizes=args.sizes or analysis.PAPER_CACHE_SIZES,
                                             length=args.length)

@@ -24,6 +24,15 @@ from .kernels import (
     lru_demand_replay,
 )
 from .memory import MemoryTiming, PerformanceModel, traffic_ratio
+from .misspath import (
+    MechanismConfig,
+    MissCache,
+    MissPathChain,
+    MissPathComponent,
+    SecondLevelCache,
+    StreamBuffers,
+    VictimCache,
+)
 from .multiprog import DEFAULT_QUANTUM, simulate_multiprogrammed
 from .opt import belady_min_misses, belady_miss_ratio
 from .organization import CacheOrganization, SplitCache, UnifiedCache
@@ -58,6 +67,13 @@ __all__ = [
     "MemoryTiming",
     "PerformanceModel",
     "traffic_ratio",
+    "MechanismConfig",
+    "MissCache",
+    "MissPathChain",
+    "MissPathComponent",
+    "SecondLevelCache",
+    "StreamBuffers",
+    "VictimCache",
     "belady_min_misses",
     "belady_miss_ratio",
     "DEFAULT_QUANTUM",

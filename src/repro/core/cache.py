@@ -58,6 +58,10 @@ class Cache:
         fetch_policy: demand or sequential prefetch.
         stats: optional externally owned counter object (used by the split
             organization to share a line-size-consistent aggregate).
+        miss_path: optional miss-path chain (see
+            :mod:`repro.core.misspath`); consulted on allocating misses
+            (``service_miss``) and replacements (``on_evict``).  Normally
+            wired by the organization, not passed directly.
 
     The hot-path entry point is :meth:`access_raw`; :meth:`access` is the
     typed convenience wrapper.
@@ -70,6 +74,7 @@ class Cache:
         write_policy: WritePolicy = COPY_BACK,
         fetch_policy: FetchPolicy = FetchPolicy.DEMAND,
         stats: CacheStats | None = None,
+        miss_path=None,
     ) -> None:
         self.geometry = geometry
         self.write_policy = write_policy
@@ -97,6 +102,7 @@ class Cache:
         self._last_write_word = -1
         self._prefetching = fetch_policy.prefetches
         self._prefetch_always = fetch_policy is FetchPolicy.PREFETCH_ALWAYS
+        self.miss_path = miss_path
 
     # -- public API ----------------------------------------------------------
 
@@ -186,6 +192,51 @@ class Cache:
         """Flag bitmask for a resident line, or None (testing/introspection)."""
         return self._sets[line & self._set_mask].get(line)
 
+    def mark_dirty(self, address: int) -> bool:
+        """Set the dirty (and data) flags on a resident line.
+
+        Used by an inclusive second level absorbing a write-back from
+        above.  Returns True iff the line was resident.
+        """
+        line = address >> self._offset_bits
+        lines = self._sets[line & self._set_mask]
+        flags = lines.get(line)
+        if flags is None:
+            return False
+        lines[line] = flags | FLAG_DIRTY | FLAG_DATA
+        return True
+
+    def fill_line(self, address: int, flags: int = 0) -> None:
+        """Insert a line without touching reference/fetch counters.
+
+        Miss-path plumbing (inclusion repair in a second level).  Any
+        eviction the insert causes is accounted normally.
+        """
+        line = address >> self._offset_bits
+        lines = self._sets[line & self._set_mask]
+        if line in lines:
+            lines[line] |= flags
+            return
+        self._insert(lines, self._policies[line & self._set_mask], line, flags)
+
+    def invalidate(self, address: int) -> int | None:
+        """Drop a resident line (back-invalidation from a lower level).
+
+        The line counts as a replacement push (dirty state included — its
+        write-back obligation falls to this cache since the lower level is
+        discarding its copy).  Returns the dropped flags, or None if the
+        line was not resident.
+        """
+        line = address >> self._offset_bits
+        lines = self._sets[line & self._set_mask]
+        flags = lines.pop(line, None)
+        if flags is None:
+            return None
+        self._policies[line & self._set_mask].on_evict(line)
+        self.stats.replacement_pushes += 1
+        self._count_push(flags)
+        return flags
+
     # -- internals -----------------------------------------------------------
 
     def _reference_line(self, kind: int, line: int, size: int) -> bool:
@@ -217,8 +268,17 @@ class Cache:
             if is_write and not self._allocate_on_write:
                 pass  # no-allocate: the store bypasses the cache entirely
             else:
+                # With a miss path the fetch may be serviced by a chain
+                # component rather than memory; demand_fetches counts the
+                # fill into *this* cache either way (memory-side traffic
+                # lives in the last component's stats block).
                 stats.demand_fetches += 1
-                self._insert(lines, policy, line, flag_update | FLAG_REFERENCED)
+                extra = 0
+                if self.miss_path is not None:
+                    extra = self.miss_path.service_miss(kind, line)
+                self._insert(
+                    lines, policy, line, flag_update | FLAG_REFERENCED | extra
+                )
             hit = False
 
         if self._prefetching and (self._prefetch_always or first_touch):
@@ -265,7 +325,12 @@ class Cache:
             victim_flags = lines.pop(victim)
             policy.on_evict(victim)
             self.stats.replacement_pushes += 1
-            self._count_push(victim_flags)
+            # A miss-path component may take custody of the victim (victim
+            # cache); the dirty/data push accounting then moves with it.
+            if self.miss_path is None or not self.miss_path.on_evict(
+                victim, victim_flags
+            ):
+                self._count_push(victim_flags)
         lines[line] = flags
         policy.on_insert(lines, line)
 

@@ -27,8 +27,16 @@ class FetchPolicy(enum.Enum):
     PREFETCH_ALWAYS = "prefetch-always"
     #: Probe line i+1 only on the first demand reference to line i.
     PREFETCH_TAGGED = "prefetch-tagged"
+    #: Demand fetch backed by stream buffers on the miss path ([Jou90]);
+    #: the cache itself never prefetches — the organization attaches
+    #: :class:`repro.core.misspath.StreamBuffers` instead.
+    STREAM = "stream"
 
     @property
     def prefetches(self) -> bool:
-        """True for the two prefetching policies."""
-        return self is not FetchPolicy.DEMAND
+        """True for the two in-cache prefetching policies.
+
+        ``STREAM`` returns False: its prefetching lives in miss-path
+        stream buffers, not in the cache's own fetch path.
+        """
+        return self in (FetchPolicy.PREFETCH_ALWAYS, FetchPolicy.PREFETCH_TAGGED)

@@ -37,6 +37,7 @@ from ..trace.stream import Trace
 from .address import CacheGeometry
 from .fetch import FetchPolicy
 from .kernels import associativity_miss_surface
+from .misspath import MechanismConfig
 from .organization import CacheOrganization, SplitCache, UnifiedCache
 from .replacement import policy_factory
 from .simulator import SimulationReport, simulate
@@ -46,6 +47,7 @@ from .write import WritePolicy, WriteStrategy
 __all__ = [
     "TraceSpec",
     "SimulateJob",
+    "MechanismStudyJob",
     "StackSweepJob",
     "AssociativitySweepJob",
     "CampaignCell",
@@ -60,7 +62,10 @@ __all__ = [
 #: Version 2: :class:`CellResult` grew the ``sampling`` field.
 #: Version 3: generator v2 — purpose-decomposed RNG streams changed the
 #: emitted reference streams for equal workload parameters.
-CACHE_SCHEMA_VERSION = 3
+#: Version 4: cell identity grew a miss-path mechanism config
+#: (:class:`MechanismStudyJob`), so pre-mechanism cached results must not
+#: be served for mechanism cells.
+CACHE_SCHEMA_VERSION = 4
 
 _WRITE_POLICIES = {
     "copy-back": WritePolicy(WriteStrategy.COPY_BACK, allocate_on_write=True),
@@ -241,6 +246,9 @@ class SimulateJob:
     :func:`repro.core.simulator.simulate` and is *excluded* from the cache
     identity: every engine produces an identical report, so forcing
     ``"generic"`` (or ``"kernel"``) must hit the same cached cell.
+    ``allow_warm`` is likewise excluded — it only relaxes the fresh-
+    organization guard (the organization built here is always fresh, so
+    results cannot differ).
     """
 
     size: int
@@ -254,6 +262,11 @@ class SimulateJob:
     limit: int | None = None
     warmup: int = 0
     engine: str = "auto"
+    allow_warm: bool = False
+
+    def _miss_path(self):
+        """Components to attach to the organization (None in the base job)."""
+        return None
 
     def build_organization(self) -> CacheOrganization:
         """A fresh organization for one run of this job."""
@@ -263,7 +276,11 @@ class SimulateJob:
         replacement = policy_factory(self.replacement)
         organization_cls = SplitCache if self.split else UnifiedCache
         return organization_cls(
-            geometry, replacement=replacement, write_policy=write, fetch_policy=fetch
+            geometry,
+            replacement=replacement,
+            write_policy=write,
+            fetch_policy=fetch,
+            miss_path=self._miss_path(),
         )
 
     def run(self, trace: Trace) -> SimulationReport:
@@ -275,6 +292,7 @@ class SimulateJob:
             limit=self.limit,
             warmup=self.warmup,
             engine=self.engine,
+            allow_warm=self.allow_warm,
         )
 
     def identity(self) -> dict:
@@ -292,6 +310,30 @@ class SimulateJob:
             "limit": self.limit,
             "warmup": self.warmup,
         }
+
+
+@dataclass(frozen=True)
+class MechanismStudyJob(SimulateJob):
+    """A :class:`SimulateJob` with miss-path mechanisms attached.
+
+    The :class:`~repro.core.misspath.MechanismConfig` *is* part of the
+    cell identity (unlike ``engine``/``allow_warm``): a victim-cache run
+    and the bare baseline are different experiments.  The job name also
+    changes to ``"mechanism-study"`` so even an inactive config never
+    aliases a plain simulate cell.
+    """
+
+    mechanisms: MechanismConfig = MechanismConfig()
+
+    def _miss_path(self):
+        return self.mechanisms.build(self.line_size) or None
+
+    def identity(self) -> dict:
+        """JSON-able identity used for cache keying."""
+        ident = super().identity()
+        ident["job"] = "mechanism-study"
+        ident["mechanisms"] = self.mechanisms.identity()
+        return ident
 
 
 @dataclass(frozen=True)

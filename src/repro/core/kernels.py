@@ -99,6 +99,7 @@ def _cache_qualifies(cache: Cache) -> bool:
         type(cache) is Cache
         and cache.fetch_policy is FetchPolicy.DEMAND
         and cache.write_policy.combining_bytes == 0
+        and cache.miss_path is None  # mechanisms need the generic engine
         and _policy_kind(cache) is not None
     )
 

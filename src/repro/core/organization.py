@@ -15,11 +15,53 @@ from ..trace.record import AccessKind, MemoryAccess
 from .address import CacheGeometry
 from .cache import Cache
 from .fetch import FetchPolicy
+from .misspath import MissPathChain, SecondLevelCache, StreamBuffers
 from .replacement import ReplacementPolicyFactory
 from .stats import CacheStats
 from .write import COPY_BACK, WritePolicy
 
 __all__ = ["CacheOrganization", "UnifiedCache", "SplitCache"]
+
+
+def _stats_touched(stats: CacheStats) -> bool:
+    """True iff any activity has been recorded in ``stats``."""
+    return bool(
+        stats.references
+        or stats.pushes
+        or stats.lines_fetched
+        or stats.write_throughs
+        or stats.combined_writes
+        or stats.purges
+    )
+
+
+def _build_chain(miss_path, fetch_policy: FetchPolicy) -> MissPathChain | None:
+    """Normalize a ``miss_path`` argument into a fresh chain (or None).
+
+    Accepts a :class:`MissPathChain`, a sequence of components, or None.
+    When the fetch policy is :attr:`FetchPolicy.STREAM` and the chain has
+    no stream buffers yet, a default set is inserted (before any L2, so
+    the buffers service misses ahead of it).
+    """
+    if miss_path is None:
+        components = []
+    elif isinstance(miss_path, MissPathChain):
+        components = list(miss_path.components)
+    else:
+        components = list(miss_path)
+    if fetch_policy is FetchPolicy.STREAM and not any(
+        isinstance(comp, StreamBuffers) for comp in components
+    ):
+        buffers = StreamBuffers()
+        for index, comp in enumerate(components):
+            if isinstance(comp, SecondLevelCache):
+                components.insert(index, buffers)
+                break
+        else:
+            components.append(buffers)
+    if not components:
+        return None
+    return MissPathChain(components)
 
 _IFETCH = int(AccessKind.IFETCH)
 _READ = int(AccessKind.READ)
@@ -58,6 +100,23 @@ class CacheOrganization(abc.ABC):
     def data_stats(self) -> CacheStats:
         """Statistics for data references (their cache, if split)."""
 
+    def mechanism_stats(self) -> tuple[tuple[str, CacheStats], ...]:
+        """(name, stats) per attached miss-path component, chain order.
+
+        Organizations without a miss path return the empty tuple.
+        """
+        return ()
+
+    def is_warm(self) -> bool:
+        """True iff the organization holds resident lines or counters.
+
+        :func:`repro.core.simulator.simulate` uses this to reject
+        accidental reuse of a warm organization.  The base implementation
+        only sees the counters; concrete organizations also check for
+        resident lines.
+        """
+        return _stats_touched(self.overall_stats())
+
     def replay_plan(self) -> tuple[tuple[Cache, ...], tuple[int, int, int, int]] | None:
         """Structure for the fast replay kernels, or None if opaque.
 
@@ -73,7 +132,11 @@ class CacheOrganization(abc.ABC):
 class UnifiedCache(CacheOrganization):
     """One cache for instructions and data — the paper's Table 1 design.
 
-    Args: identical to :class:`repro.core.cache.Cache`.
+    Args: identical to :class:`repro.core.cache.Cache`, plus ``miss_path``
+    — a :class:`~repro.core.misspath.MissPathChain` or sequence of
+    :class:`~repro.core.misspath.MissPathComponent` attached to the miss
+    path.  ``fetch_policy=FetchPolicy.STREAM`` attaches default stream
+    buffers automatically.
     """
 
     def __init__(
@@ -82,17 +145,36 @@ class UnifiedCache(CacheOrganization):
         replacement: ReplacementPolicyFactory | None = None,
         write_policy: WritePolicy = COPY_BACK,
         fetch_policy: FetchPolicy = FetchPolicy.DEMAND,
+        miss_path=None,
     ) -> None:
-        self.cache = Cache(geometry, replacement, write_policy, fetch_policy)
+        chain = _build_chain(miss_path, fetch_policy)
+        self.cache = Cache(
+            geometry, replacement, write_policy, fetch_policy, miss_path=chain
+        )
+        self.miss_path = chain
+        if chain is not None:
+            chain.attach((self.cache,), geometry.line_size)
 
     def access_raw(self, kind: int, address: int, size: int) -> bool:
         return self.cache.access_raw(kind, address, size)
 
     def purge(self) -> None:
         self.cache.purge()
+        if self.miss_path is not None:
+            self.miss_path.purge()
 
     def reset_statistics(self) -> None:
         self.cache.reset_statistics()
+        if self.miss_path is not None:
+            self.miss_path.reset_statistics()
+
+    def mechanism_stats(self) -> tuple[tuple[str, CacheStats], ...]:
+        return self.miss_path.mechanism_stats() if self.miss_path is not None else ()
+
+    def is_warm(self) -> bool:
+        if len(self.cache) or _stats_touched(self.cache.stats):
+            return True
+        return self.miss_path is not None and self.miss_path.is_warm()
 
     def overall_stats(self) -> CacheStats:
         return self.cache.stats
@@ -124,6 +206,10 @@ class SplitCache(CacheOrganization):
             :class:`~repro.core.cache.Cache`, applied to both halves.
         fetch_routing: ``"instruction"`` (default) or ``"data"`` — where
             unclassified FETCH references go.
+        miss_path: optional miss-path chain (or component sequence),
+            *shared* between the two halves — a victim cache catches both
+            caches' victims and a unified L2 backs both, matching the
+            split-L1 + unified-L2 two-level design.
 
     Raises:
         ValueError: if the two geometries have different line sizes or
@@ -138,6 +224,7 @@ class SplitCache(CacheOrganization):
         write_policy: WritePolicy = COPY_BACK,
         fetch_policy: FetchPolicy = FetchPolicy.DEMAND,
         fetch_routing: str = "instruction",
+        miss_path=None,
     ) -> None:
         data_geometry = data_geometry or instruction_geometry
         if instruction_geometry.line_size != data_geometry.line_size:
@@ -149,8 +236,17 @@ class SplitCache(CacheOrganization):
             raise ValueError(
                 f"fetch_routing must be 'instruction' or 'data', got {fetch_routing!r}"
             )
-        self.icache = Cache(instruction_geometry, replacement, write_policy, fetch_policy)
-        self.dcache = Cache(data_geometry, replacement, write_policy, fetch_policy)
+        chain = _build_chain(miss_path, fetch_policy)
+        self.icache = Cache(
+            instruction_geometry, replacement, write_policy, fetch_policy,
+            miss_path=chain,
+        )
+        self.dcache = Cache(
+            data_geometry, replacement, write_policy, fetch_policy, miss_path=chain
+        )
+        self.miss_path = chain
+        if chain is not None:
+            chain.attach((self.icache, self.dcache), instruction_geometry.line_size)
         self._fetch_to_icache = fetch_routing == "instruction"
 
     def access_raw(self, kind: int, address: int, size: int) -> bool:
@@ -161,10 +257,23 @@ class SplitCache(CacheOrganization):
     def purge(self) -> None:
         self.icache.purge()
         self.dcache.purge()
+        if self.miss_path is not None:
+            self.miss_path.purge()
 
     def reset_statistics(self) -> None:
         self.icache.reset_statistics()
         self.dcache.reset_statistics()
+        if self.miss_path is not None:
+            self.miss_path.reset_statistics()
+
+    def mechanism_stats(self) -> tuple[tuple[str, CacheStats], ...]:
+        return self.miss_path.mechanism_stats() if self.miss_path is not None else ()
+
+    def is_warm(self) -> bool:
+        for cache in (self.icache, self.dcache):
+            if len(cache) or _stats_touched(cache.stats):
+                return True
+        return self.miss_path is not None and self.miss_path.is_warm()
 
     def overall_stats(self) -> CacheStats:
         combined = CacheStats(line_size=self.icache.geometry.line_size)

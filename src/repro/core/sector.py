@@ -216,6 +216,9 @@ class SectorCacheOrganization(CacheOrganization):
     def reset_statistics(self) -> None:
         self.cache.reset_statistics()
 
+    def is_warm(self) -> bool:
+        return len(self.cache) > 0 or super().is_warm()
+
     def overall_stats(self) -> CacheStats:
         return self.cache.stats
 

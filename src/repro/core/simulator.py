@@ -39,11 +39,85 @@ class SimulationReport:
     overall: CacheStats
     instruction: CacheStats
     data: CacheStats
+    #: Per-mechanism statistics for miss-path components, in chain order:
+    #: ``(name, stats)`` snapshots (empty without a miss path).  The
+    #: per-class counters of a component's block record *probes* of that
+    #: component, so its hit rate is ``1 - stats.miss_ratio``.
+    mechanisms: tuple[tuple[str, CacheStats], ...] = ()
 
     @property
     def miss_ratio(self) -> float:
         """Overall miss ratio."""
         return self.overall.miss_ratio
+
+    @property
+    def mechanism_names(self) -> tuple[str, ...]:
+        """Names of the attached miss-path components, chain order."""
+        return tuple(name for name, _ in self.mechanisms)
+
+    def mechanism(self, name: str) -> CacheStats:
+        """Stats block of one miss-path component.
+
+        Raises:
+            KeyError: if no component of that name was attached.
+        """
+        for mech_name, stats in self.mechanisms:
+            if mech_name == name:
+                return stats
+        raise KeyError(f"no miss-path component named {name!r}; "
+                       f"have {list(self.mechanism_names)}")
+
+    @property
+    def effective_miss_ratio(self) -> float:
+        """Misses serviced by *memory or the L2* per reference.
+
+        Primary misses serviced by a victim cache, miss cache, or stream
+        buffer are nearly free, so the interesting quantity is the miss
+        ratio with those hits removed.  An L2 hit still counts here (it is
+        slower than the mechanisms, and the L2's own local miss ratio is
+        in its stats block).  Equal to :attr:`miss_ratio` without a miss
+        path; NaN over zero references.
+        """
+        refs = self.overall.references
+        if refs == 0:
+            return float("nan")
+        serviced = sum(
+            stats.hits for name, stats in self.mechanisms if name != "l2"
+        )
+        return (self.overall.misses - serviced) / refs
+
+    @property
+    def effective_memory_traffic_bytes(self) -> int:
+        """Bytes moved on the memory-side bus, mechanisms included.
+
+        Without a miss path this is ``overall.memory_traffic_bytes``.
+        With one, fills serviced by a component are not memory traffic;
+        stream-buffer fetches are; and with an L2 the memory side is the
+        L2's fetch/write-back account (its line size may differ).  See
+        docs/mechanisms.md for the exact model.
+        """
+        if not self.mechanisms:
+            return self.overall.memory_traffic_bytes
+        named = dict(self.mechanisms)
+        l2 = named.get("l2")
+        buffers = named.get("stream-buffers")
+        prefetch_lines = buffers.prefetches if buffers is not None else 0
+        line_size = self.overall.line_size
+        if l2 is not None:
+            fill_bytes = l2.lines_fetched * l2.line_size
+            writeback_bytes = l2.dirty_pushes * l2.line_size
+        else:
+            comp_hits = sum(stats.hits for _, stats in self.mechanisms)
+            fill_bytes = (self.overall.lines_fetched - comp_hits) * line_size
+            writeback_bytes = self.overall.dirty_pushes * line_size + sum(
+                stats.dirty_pushes * stats.line_size for _, stats in self.mechanisms
+            )
+        return (
+            fill_bytes
+            + prefetch_lines * line_size
+            + writeback_bytes
+            + self.overall.write_through_bytes
+        )
 
     @property
     def instruction_miss_ratio(self) -> float:
@@ -63,13 +137,20 @@ def simulate(
     limit: int | None = None,
     warmup: int = 0,
     engine: str = "auto",
+    allow_warm: bool = False,
 ) -> SimulationReport:
     """Replay ``trace`` through ``organization``.
 
     Args:
         trace: the reference stream.
         organization: unified or split cache (mutated in place; pass a fresh
-            one per run).
+            one per run).  A warm organization — resident lines or non-zero
+            counters — is rejected unless ``allow_warm=True``, because
+            silent reuse double-counts state across runs.
+        allow_warm: accept a previously used organization (deliberate
+            functional-warming setups, e.g. the sampling engine's stitch
+            mode, which resets statistics but keeps contents between
+            windows).
         purge_interval: purge the cache every this many references, after
             the references are applied (so an interval equal to the trace
             length purges once, at the end — matching the paper's
@@ -95,8 +176,9 @@ def simulate(
 
     Raises:
         ValueError: for a non-positive purge interval, negative limit or
-            negative warmup, an unknown ``engine``, or ``engine="kernel"``
-            with an organization the kernel cannot express.
+            negative warmup, an unknown ``engine``, ``engine="kernel"``
+            with an organization the kernel cannot express, or a warm
+            organization without ``allow_warm=True``.
     """
     if purge_interval is not None and purge_interval <= 0:
         raise ValueError(f"purge_interval must be positive, got {purge_interval}")
@@ -106,6 +188,12 @@ def simulate(
         raise ValueError(f"warmup must be non-negative, got {warmup}")
     if engine not in ("auto", "generic", "kernel"):
         raise ValueError(f"engine must be 'auto', 'generic' or 'kernel', got {engine!r}")
+    if not allow_warm and organization.is_warm():
+        raise ValueError(
+            "organization already holds resident lines or statistics; "
+            "simulate() needs a fresh one per run (pass allow_warm=True to "
+            "reuse a warm organization deliberately)"
+        )
 
     if engine != "generic" and kernels.can_replay(organization):
         measured = kernels.lru_demand_replay(
@@ -118,6 +206,7 @@ def simulate(
             overall=organization.overall_stats().snapshot(),
             instruction=organization.instruction_stats().snapshot(),
             data=organization.data_stats().snapshot(),
+            mechanisms=_mechanism_snapshots(organization),
         )
     if engine == "kernel":
         raise ValueError(
@@ -176,4 +265,13 @@ def simulate(
         overall=organization.overall_stats().snapshot(),
         instruction=organization.instruction_stats().snapshot(),
         data=organization.data_stats().snapshot(),
+        mechanisms=_mechanism_snapshots(organization),
+    )
+
+
+def _mechanism_snapshots(
+    organization: CacheOrganization,
+) -> tuple[tuple[str, CacheStats], ...]:
+    return tuple(
+        (name, stats.snapshot()) for name, stats in organization.mechanism_stats()
     )

@@ -30,9 +30,14 @@ class ClassCounts:
 
     @property
     def miss_ratio(self) -> float:
-        """Misses per reference; 0.0 when there were no references."""
+        """Misses per reference; NaN when there were no references.
+
+        NaN (not 0.0) keeps the repo-wide convention for empty streams: a
+        ratio over zero references is undefined, and renderers print it as
+        ``nan`` rather than a misleading ``0.000``.
+        """
         if self.references == 0:
-            return 0.0
+            return float("nan")
         return self.misses / self.references
 
     def merge(self, other: "ClassCounts") -> None:
@@ -111,10 +116,15 @@ class CacheStats:
         return self.ifetch.misses + self.read.misses + self.write.misses + self.fetch.misses
 
     @property
+    def hits(self) -> int:
+        """Total hits of all classes."""
+        return self.references - self.misses
+
+    @property
     def miss_ratio(self) -> float:
-        """Overall miss ratio; 0.0 with no references."""
+        """Overall miss ratio; NaN with no references."""
         if self.references == 0:
-            return 0.0
+            return float("nan")
         return self.misses / self.references
 
     @property
@@ -124,10 +134,10 @@ class CacheStats:
 
     @property
     def data_miss_ratio(self) -> float:
-        """Miss ratio of data reads and writes combined."""
+        """Miss ratio of data reads and writes combined; NaN with none."""
         refs = self.read.references + self.write.references
         if refs == 0:
-            return 0.0
+            return float("nan")
         return (self.read.misses + self.write.misses) / refs
 
     @property

@@ -544,11 +544,14 @@ def sampled_simulate(
         if stitch:
             warm_start = iv.start
             organization.reset_statistics()
+            # Stitch mode deliberately carries the warm organization across
+            # windows (functional warming); allow_warm opts into the reuse.
             report = simulate(
                 trace[iv.start : iv.stop],
                 organization,
                 purge_interval=job.purge_interval,
                 engine=job.engine,
+                allow_warm=True,
             )
         else:
             warm_start = max(0, iv.start - warm)

@@ -1,0 +1,146 @@
+"""Engine-equivalence suite for the replay schedule knobs.
+
+:mod:`tests.core.test_kernels` sweeps organizations; this suite pins the
+*schedule* corner cases — every meaningful interplay of ``limit``,
+``warmup`` and ``purge_interval``, including the degenerate
+``limit < warmup`` and ``limit == warmup`` edges where nothing is
+measured — and demands bit-identical reports and final cache state from
+every engine: the generic per-reference loop, the kernel's vectorized
+cold-LRU path, and the kernel's dict loops (no-allocate LRU, FIFO,
+RANDOM).  It also pins mechanism statistics across campaign worker
+counts: fan-out must never change a result.
+"""
+
+import math
+
+import pytest
+
+from repro.core import (
+    WRITE_THROUGH,
+    CacheGeometry,
+    UnifiedCache,
+    policy_factory,
+    simulate,
+)
+
+from .test_kernels import random_trace
+
+#: Engine variants: (name, organization factory).  The kernel picks its
+#: vectorized path only for cold allocate-on-write LRU; the others drive
+#: its dict loops (see the kernel-selection matrix in
+#: ``repro.core.kernels.lru_demand_replay``).
+ENGINES = {
+    "lru-vectorized": lambda: UnifiedCache(CacheGeometry(512, 16, 2)),
+    "lru-dict": lambda: UnifiedCache(
+        CacheGeometry(512, 16, 2), write_policy=WRITE_THROUGH
+    ),
+    "fifo-dict": lambda: UnifiedCache(
+        CacheGeometry(512, 16, 2), replacement=policy_factory("fifo")
+    ),
+    "random-dict": lambda: UnifiedCache(
+        CacheGeometry(512, 16, 2), replacement=policy_factory("random")
+    ),
+}
+
+#: The schedule grid.  Trace length is 600, so these cover: plain runs,
+#: purges landing inside and exactly on the warmup boundary, limits
+#: cutting the purge clock short, and the zero-measured edges.
+SCHEDULES = {
+    "plain": dict(),
+    "limit-below-warmup": dict(limit=100, warmup=200),
+    "limit-equals-warmup": dict(limit=200, warmup=200),
+    "limit-just-above-warmup": dict(limit=201, warmup=200),
+    "purge-inside-warmup": dict(purge_interval=50, warmup=175, limit=400),
+    "purge-on-warmup-boundary": dict(purge_interval=100, warmup=200, limit=450),
+    "purge-on-limit-boundary": dict(purge_interval=100, warmup=150, limit=500),
+    "purge-beyond-limit": dict(purge_interval=1000, warmup=50, limit=300),
+    "limit-beyond-trace": dict(limit=10_000, warmup=100, purge_interval=77),
+    "warmup-beyond-limit-and-trace": dict(limit=10_000, warmup=20_000),
+}
+
+
+def _run(make, trace, engine, schedule):
+    organization = make()
+    report = simulate(trace, organization, engine=engine, **schedule)
+    state = [
+        list(lines.items())
+        for cache in organization.replay_plan()[0]
+        for lines in cache._sets
+    ]
+    fields = (report.references, report.overall, report.instruction, report.data)
+    return report, fields, state
+
+
+class TestScheduleEquivalence:
+    @pytest.mark.parametrize("variant", ENGINES)
+    @pytest.mark.parametrize("schedule", SCHEDULES)
+    def test_bit_identical_across_engines(self, variant, schedule):
+        trace = random_trace(seed=f"{variant}/{schedule}")
+        make = ENGINES[variant]
+        _, generic, generic_state = _run(make, trace, "generic", SCHEDULES[schedule])
+        _, kernel, kernel_state = _run(make, trace, "kernel", SCHEDULES[schedule])
+        assert kernel == generic
+        assert kernel_state == generic_state
+
+    @pytest.mark.parametrize("schedule", ["limit-below-warmup", "limit-equals-warmup"])
+    @pytest.mark.parametrize("engine", ["generic", "kernel"])
+    def test_zero_measured_references(self, schedule, engine):
+        # When the limit exhausts the stream inside the warmup, nothing
+        # is measured: zero references and NaN ratios, on every engine.
+        trace = random_trace(seed=schedule)
+        report, _, _ = _run(
+            ENGINES["lru-vectorized"], trace, engine, SCHEDULES[schedule]
+        )
+        assert report.references == 0
+        assert report.overall.references == 0
+        assert math.isnan(report.miss_ratio)
+
+    def test_warmup_clamps_to_limit_not_trace(self):
+        # limit=100 < warmup=200: the warmup replays only the first 100
+        # references, and they still advance the purge clock.
+        trace = random_trace(seed="clamp")
+        organization = UnifiedCache(CacheGeometry(512, 16, 2))
+        report = simulate(
+            trace, organization, limit=100, warmup=200, purge_interval=40
+        )
+        assert report.references == 0
+        assert organization.cache.stats.references == 0  # reset after warmup
+        # The purge clock ran inside the warmup (purges at 40 and 80): only
+        # references 81..100 survive, fewer lines than a purge-free warmup.
+        unpurged = UnifiedCache(CacheGeometry(512, 16, 2))
+        simulate(trace, unpurged, limit=100, warmup=200)
+        assert 0 < len(organization.cache) < len(unpurged.cache)
+
+
+class TestCampaignWorkerEquivalence:
+    def test_mechanism_stats_identical_across_worker_counts(self):
+        from repro.campaign import run_campaign
+        from repro.core.jobs import CampaignCell, MechanismStudyJob, TraceSpec
+        from repro.core.misspath import MechanismConfig
+
+        spec = TraceSpec.catalog("VCCOM", length=4000)
+        config = MechanismConfig(
+            victim_entries=4, stream_buffers=2, stream_depth=4, l2_size=8192
+        )
+        cells = [
+            CampaignCell(
+                label=f"assoc-{ways}",
+                trace=spec,
+                job=MechanismStudyJob(
+                    size=1024, associativity=ways, mechanisms=config
+                ),
+            )
+            for ways in (1, 2)
+        ]
+        serial = run_campaign(cells, workers=1, cache=False, raise_on_error=True)
+        pooled = run_campaign(cells, workers=2, cache=False, raise_on_error=True)
+        for one, two in zip(serial.outcomes, pooled.outcomes):
+            assert one.value.overall == two.value.overall
+            assert one.value.mechanism_names == two.value.mechanism_names
+            for (name, block), (_, other) in zip(
+                one.value.mechanisms, two.value.mechanisms
+            ):
+                assert block == other, name
+            assert one.value.effective_miss_ratio == pytest.approx(
+                two.value.effective_miss_ratio, nan_ok=True
+            )

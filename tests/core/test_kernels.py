@@ -139,7 +139,9 @@ class TestReplayKernelEquivalence:
         for engine in ("generic", "kernel"):
             organization = UnifiedCache(CacheGeometry(512, 16, associativity=2))
             simulate(first, organization, engine=engine)
-            report = simulate(second, organization, engine=engine, purge_interval=71)
+            report = simulate(
+                second, organization, engine=engine, purge_interval=71, allow_warm=True
+            )
             state = [list(lines.items()) for lines in organization.cache._sets]
             results.append((report.overall, state))
         assert results[0] == results[1]
@@ -256,7 +258,9 @@ class TestPolicyKernelEquivalence:
                 replacement=policy_factory("fifo"),
             )
             simulate(first, organization, engine=engine)
-            report = simulate(second, organization, engine=engine, purge_interval=71)
+            report = simulate(
+                second, organization, engine=engine, purge_interval=71, allow_warm=True
+            )
             state = [list(lines.items()) for lines in organization.cache._sets]
             results.append((report.overall, state))
         assert results[0] == results[1]

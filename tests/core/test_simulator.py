@@ -1,5 +1,7 @@
 """Tests for the drive loop and multiprogramming helper."""
 
+import math
+
 import pytest
 
 from repro.core import (
@@ -48,8 +50,24 @@ class TestSimulate:
         organization = UnifiedCache(CacheGeometry(64, 16))
         report = simulate(tiny_trace, organization, limit=3)
         before = report.overall.references
-        simulate(tiny_trace, organization)  # reuse mutates the organization
+        # Deliberate reuse mutates the organization, not the report.
+        simulate(tiny_trace, organization, allow_warm=True)
         assert report.overall.references == before
+
+    def test_warm_organization_rejected(self, tiny_trace):
+        organization = UnifiedCache(CacheGeometry(64, 16))
+        simulate(tiny_trace, organization)
+        with pytest.raises(ValueError, match="allow_warm"):
+            simulate(tiny_trace, organization)
+
+    def test_warm_guard_sees_resident_lines_after_reset(self, tiny_trace):
+        # Counters cleared but lines resident: still warm.
+        organization = UnifiedCache(CacheGeometry(64, 16))
+        simulate(tiny_trace, organization)
+        organization.reset_statistics()
+        assert organization.is_warm()
+        with pytest.raises(ValueError, match="allow_warm"):
+            simulate(tiny_trace, organization)
 
     def test_split_report_miss_ratios(self, mixed_trace):
         report = simulate(mixed_trace, SplitCache(CacheGeometry(64, 16)))
@@ -59,7 +77,10 @@ class TestSimulate:
     def test_empty_trace(self):
         report = simulate(make_trace([]), UnifiedCache(CacheGeometry(64, 16)))
         assert report.references == 0
-        assert report.miss_ratio == 0.0
+        # Zero-reference ratios are NaN (undefined), not 0.0.
+        assert math.isnan(report.miss_ratio)
+        assert math.isnan(report.data_miss_ratio)
+        assert math.isnan(report.effective_miss_ratio)
 
 
 class TestMultiprogrammed:

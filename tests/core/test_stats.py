@@ -1,5 +1,7 @@
 """Tests for simulation statistics."""
 
+import math
+
 import pytest
 
 from repro.core import CacheStats, ClassCounts
@@ -12,8 +14,10 @@ class TestClassCounts:
         assert counts.hits == 7
         assert counts.miss_ratio == pytest.approx(0.3)
 
-    def test_empty_miss_ratio_is_zero(self):
-        assert ClassCounts().miss_ratio == 0.0
+    def test_empty_miss_ratio_is_nan(self):
+        # Undefined over zero references — matches the repo-wide NaN
+        # convention for empty-stream ratios.
+        assert math.isnan(ClassCounts().miss_ratio)
 
     def test_merge(self):
         a = ClassCounts(10, 2)

@@ -52,6 +52,27 @@ class TestBasicCommands:
         assert "split I/D" in out
         assert "fifo, write-through, prefetch-always" in out
 
+    def test_simulate_with_mechanisms(self, capsys):
+        code, out = run_cli(
+            capsys, "simulate", "ZGREP", "--size", "1024", "--assoc", "1",
+            "--victim", "4", "--stream-buffers", "4", "--l2", "16384",
+            "--length", "5000",
+        )
+        assert code == 0
+        assert "effective miss" in out
+        assert "victim-cache" in out
+        assert "stream-buffers" in out
+        assert "local miss ratio" in out  # the L2 block
+
+    def test_simulate_stream_fetch_policy(self, capsys):
+        code, out = run_cli(
+            capsys, "simulate", "ZGREP", "--size", "1024",
+            "--fetch", "stream", "--length", "5000",
+        )
+        assert code == 0
+        assert "lru, copy-back, stream" in out
+        assert "stream-buffers" in out
+
 
 class TestExperimentCommands:
     def test_table1_subset_sizes(self, capsys):
@@ -99,6 +120,31 @@ class TestCampaignCommand:
         code, out = run_cli(capsys, *argv)
         assert code == 0
         assert "1 cached, 0 simulated" in out
+
+    def test_mechanism_campaign(self, capsys):
+        code, out = run_cli(
+            capsys, "campaign", "--traces", "ZGREP", "--sizes", "512,2048",
+            "--assoc", "1", "--victim", "4", "--stream-buffers", "2",
+            "--length", "4000", "--workers", "1", "--no-cache",
+        )
+        assert code == 0
+        assert "effective miss ratio with miss-path mechanisms" in out
+
+    def test_mechanisms_reject_stack_mode(self, capsys):
+        with pytest.raises(SystemExit, match="stack"):
+            main(["campaign", "--traces", "ZGREP", "--sizes", "512",
+                  "--victim", "4", "--stack", "--length", "1000",
+                  "--no-cache"])
+
+    def test_mechanism_study_command(self, capsys):
+        code, out = run_cli(
+            capsys, "mechanisms", "--traces", "ZGREP", "--size", "1024",
+            "--length", "4000", "--workers", "1",
+        )
+        assert code == 0
+        assert "Mechanism study" in out
+        assert "vc+sb" in out
+        assert "Mechanism internals" in out
 
     def test_unknown_trace_fails_fast(self, capsys):
         with pytest.raises(KeyError):
