@@ -173,7 +173,10 @@ class ResultCache:
     two-level directory layout (``ab/abcdef....pkl``) to keep directories
     small.  Writes are atomic (write-to-temp + rename), so concurrent
     campaigns sharing a cache directory never observe torn entries; a
-    corrupt or unreadable entry is treated as a miss.
+    corrupt or unreadable entry is treated as a miss *and deleted*, so
+    the owning cell simply rebuilds it — the same policy the trace store
+    applies to its ``.rtrc`` files, and what lets many clients share one
+    ``REPRO_CACHE_DIR`` without a bad entry ever becoming fatal.
     """
 
     def __init__(self, directory: str | Path) -> None:
@@ -189,9 +192,17 @@ class ResultCache:
         try:
             with path.open("rb") as handle:
                 return pickle.load(handle)
+        except FileNotFoundError:
+            return _MISS
         except Exception:
             # Any unreadable entry — torn, truncated, or bytes that merely
-            # resemble a pickle stream — is a miss, never a crash.
+            # resemble a pickle stream — is a miss, never a crash.  Remove
+            # the wreckage so the rebuilt result replaces it (best-effort:
+            # a concurrent rebuilder may already have).
+            try:
+                path.unlink()
+            except OSError:
+                pass
             return _MISS
 
     def put(self, key: str, result: CellResult) -> None:
@@ -220,12 +231,18 @@ class EventLog:
 
     Each line is one JSON object with at least ``event`` (the event name)
     and ``time`` (epoch seconds).  Lines are flushed as they are written,
-    so a tail of the file is a live view of the campaign.  See
-    ``docs/campaign.md`` for the event schema.
+    so a tail of the file is a live view of the campaign.  The target
+    ``"-"`` streams to stdout (what ``campaign --events -`` and remote
+    tailing use).  See ``docs/campaign.md`` for the event schema.
     """
 
     def __init__(self, target: str | Path | object) -> None:
-        if hasattr(target, "write"):
+        if target == "-":
+            import sys
+
+            self._handle = sys.stdout
+            self._owns_handle = False
+        elif hasattr(target, "write"):
             self._handle = target
             self._owns_handle = False
         else:
@@ -523,7 +540,9 @@ class _Recorder:
     *i* as soon as outcomes ``0..i`` are all known, which with
     as-completed collection means long before the campaign ends.
     Callback exceptions are swallowed so a broken progress bar can never
-    corrupt the merge.
+    corrupt the merge — but the *first* one is surfaced as a one-time
+    ``callback_error`` event in the JSONL log, so a silently broken
+    progress consumer is at least diagnosable after the fact.
     """
 
     def __init__(
@@ -538,6 +557,7 @@ class _Recorder:
         self._log = log
         self._progress = progress
         self._next_emit = 0
+        self._callback_error_reported = False
 
     def _advance(self) -> None:
         while (
@@ -549,8 +569,17 @@ class _Recorder:
             if self._progress is not None:
                 try:
                     self._progress(outcome)
-                except Exception:
-                    pass  # a broken callback must not corrupt the merge
+                except Exception as exc:
+                    # A broken callback must not corrupt the merge, but it
+                    # must not vanish either: log the first failure once.
+                    if self._log is not None and not self._callback_error_reported:
+                        self._callback_error_reported = True
+                        self._log.emit(
+                            "callback_error",
+                            label=outcome.label,
+                            error=type(exc).__name__,
+                            message=str(exc),
+                        )
 
     def cached(self, flight: _Flight, hit: CellResult) -> None:
         sampling = getattr(hit, "sampling", None)

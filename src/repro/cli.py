@@ -8,6 +8,8 @@ simulator operations::
     repro-cachesim generate ZGREP -o zgrep.rtrc --length 100000
     repro-cachesim simulate ZGREP --size 16384 --split --purge 20000
     repro-cachesim campaign --traces VCCOM,ZGREP --sizes 1024,4096 --workers 4
+    repro-cachesim serve --backend pool --cache-dir /shared/cache
+    repro-cachesim campaign --traces VCCOM --remote http://127.0.0.1:8795
     repro-cachesim table1 --length 100000
     repro-cachesim table2
     repro-cachesim table3
@@ -161,10 +163,20 @@ def _build_parser() -> argparse.ArgumentParser:
                    "memory-mappable .rtrc file, and mapped by every "
                    "worker (default: REPRO_TRACE_STORE)")
     p.add_argument("--events", default=None, metavar="PATH",
-                   help="append JSONL lifecycle events to PATH "
-                   "(default: REPRO_EVENT_LOG)")
+                   help="append JSONL lifecycle events to PATH, or '-' to "
+                   "stream them to stdout (default: REPRO_EVENT_LOG)")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="stream a per-cell progress line to stderr")
+    p.add_argument("--remote", nargs="?", const="", default=None, metavar="URL",
+                   help="submit the campaign to a running campaign service "
+                   "(repro-cachesim serve) instead of executing locally, "
+                   "and tail its SSE event stream "
+                   "(default URL: REPRO_SERVICE_URL)")
+    p.add_argument("--user", default=None,
+                   help="user identity for --remote quota accounting "
+                   "(default: $USER)")
+    p.add_argument("--priority", type=int, default=0,
+                   help="campaign priority for --remote (higher runs first)")
     p.add_argument("--retries", type=int, default=None,
                    help="transient-failure retries per cell "
                    "(default: REPRO_RETRIES or 2)")
@@ -190,6 +202,38 @@ def _build_parser() -> argparse.ArgumentParser:
                    "half-width is within REL of its estimate "
                    "(implies --sampling; default start fraction 0.05)")
     _add_length(p)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the campaign service: an HTTP/SSE API that schedules, "
+        "dedupes, and executes campaigns for many concurrent clients "
+        "(see docs/service.md)",
+    )
+    p.add_argument("--host", default=None,
+                   help="bind address (default: REPRO_SERVICE_HOST or 127.0.0.1)")
+    p.add_argument("--port", type=int, default=None,
+                   help="bind port; 0 picks a free one "
+                   "(default: REPRO_SERVICE_PORT or 8795)")
+    p.add_argument("--backend", default=None,
+                   choices=["inline", "pool", "fleet"],
+                   help="execution backend (default: REPRO_SERVICE_BACKEND "
+                   "or pool)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="backend capacity (default: REPRO_WORKERS or CPU count)")
+    p.add_argument("--cache-dir", default=None,
+                   help="shared result-cache directory; enables cross-process "
+                   "dedupe (default: REPRO_CACHE_DIR)")
+    p.add_argument("--trace-store", default=None, metavar="DIR",
+                   help="shared content-addressed trace store for the workers "
+                   "(default: REPRO_TRACE_STORE)")
+    p.add_argument("--quota", type=int, default=None,
+                   help="max outstanding campaigns per user "
+                   "(default: REPRO_SERVICE_QUOTA or unlimited)")
+    p.add_argument("--max-active", type=int, default=None,
+                   help="campaigns run concurrently "
+                   "(default: REPRO_SERVICE_ACTIVE or 4)")
+    p.add_argument("--events", default=None, metavar="PATH",
+                   help="service-global JSONL event log ('-' = stdout)")
 
     p = sub.add_parser("simulate", help="simulate one trace / cache configuration")
     p.add_argument("trace")
@@ -414,6 +458,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     cache = False if args.no_cache else (args.cache_dir or None)
 
+    if args.remote is not None:
+        if args.sampling is not None or args.target_error is not None:
+            raise SystemExit(
+                "--sampling/--target-error are not supported with --remote "
+                "yet; run the sampled campaign locally"
+            )
+        return _run_remote_campaign(args, cells, sizes, mechanisms)
+
     plan = None
     if args.sampling is not None or args.target_error is not None:
         from .sampling import IntervalSampling
@@ -519,6 +571,133 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_remote_campaign(args: argparse.Namespace, cells, sizes, mechanisms) -> int:
+    """Submit a campaign to a running service and tail its SSE stream."""
+    import os
+
+    from .campaign import EventLog
+    from .service import SERVICE_URL_ENV, ServiceClient, ServiceError
+
+    url = args.remote or os.environ.get(SERVICE_URL_ENV)
+    if not url:
+        raise SystemExit(
+            f"--remote needs a service URL (or set {SERVICE_URL_ENV}); "
+            "start one with: repro-cachesim serve"
+        )
+    client = ServiceClient(url, user=args.user)
+    log = EventLog(args.events) if args.events is not None else None
+    total = len(cells)
+    seen = {"cells": 0}
+
+    def on_event(event):
+        if log is not None:
+            fields = {k: v for k, v in event.items() if k not in ("event", "time")}
+            log.emit(event["event"], **fields)
+        if args.verbose and event["event"] in ("cell_finished", "cell_failed"):
+            seen["cells"] += 1
+            if event["event"] == "cell_failed":
+                status = f"FAILED ({event.get('error')}: {event.get('message')})"
+            elif event.get("source") == "run":
+                status = f"{event.get('wall_seconds', 0.0):.2f}s"
+            else:
+                status = event.get("source", "cached")
+            print(f"[{seen['cells']}/{total}] {event.get('label')}: {status}",
+                  file=sys.stderr, flush=True)
+
+    try:
+        campaign_id = client.submit_cells(cells, priority=args.priority)
+        print(f"submitted campaign {campaign_id} to {url} "
+              f"({total} cells)", file=sys.stderr)
+        final = client.wait(campaign_id, on_event=on_event)
+    except ServiceError as exc:
+        raise SystemExit(str(exc)) from None
+    finally:
+        if log is not None:
+            log.close()
+
+    results = final.get("results") or []
+    kind = "stack sweep" if args.stack else "simulation"
+    metric = "effective_miss_ratio" if mechanisms is not None else "miss_ratio"
+    series: dict[str, list[float]] = {}
+    if args.stack:
+        for outcome in results:
+            curve = (outcome.get("value") or {}).get("curve") if outcome["ok"] else None
+            series[outcome["label"]] = [
+                float("nan") if v is None else v
+                for v in (curve or [None] * len(sizes))
+            ]
+    else:
+        for outcome in results:
+            name = outcome["label"].rsplit("/", 1)[0]
+            value = (outcome.get("value") or {}) if outcome["ok"] else {}
+            ratio = value.get(metric, value.get("miss_ratio"))
+            series.setdefault(name, []).append(
+                float("nan") if ratio is None else ratio
+            )
+    if mechanisms is not None:
+        kind += ", effective miss ratio with miss-path mechanisms"
+    print(analysis.render_series(
+        "trace \\ bytes", sizes, series,
+        title=f"Remote campaign miss ratios ({kind})",
+    ))
+    print()
+    print(f"campaign {final['id']} [{final['status']}]: {final['cells']} cells "
+          f"({final['cached']} cached, {final['shared']} shared, "
+          f"{final['simulated']} simulated, {final['failed']} failed)")
+    if final["failed"] or final["status"] != "done":
+        print("some cells failed on the service; see its event log",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    from .service import Scheduler, create_backend
+    from .service.http import DEFAULT_HOST, DEFAULT_PORT, ServiceServer
+    from .trace.store import TRACE_STORE_ENV
+
+    if args.trace_store:
+        os.environ[TRACE_STORE_ENV] = args.trace_store
+    host = args.host or os.environ.get("REPRO_SERVICE_HOST") or DEFAULT_HOST
+    port = args.port
+    if port is None:
+        port = int(os.environ.get("REPRO_SERVICE_PORT") or DEFAULT_PORT)
+    backend_name = (
+        args.backend or os.environ.get("REPRO_SERVICE_BACKEND") or "pool"
+    )
+    backend = create_backend(backend_name, args.workers)
+    scheduler = Scheduler(
+        backend,
+        cache=args.cache_dir,
+        quota=args.quota,
+        max_active=args.max_active,
+        events=args.events,
+    )
+
+    async def body():
+        server = ServiceServer(scheduler, host, port)
+        await server.start()
+        cache = (
+            scheduler.cache.directory if scheduler.cache is not None else "disabled"
+        )
+        print(f"campaign service listening on {server.url} "
+              f"(backend={backend_name} capacity={backend.capacity} "
+              f"cache={cache})", file=sys.stderr, flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(body())
+    except KeyboardInterrupt:
+        print("campaign service stopped", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -548,6 +727,8 @@ def main(argv: list[str] | None = None) -> int:
         _cmd_simulate(args)
     elif command == "campaign":
         return _cmd_campaign(args)
+    elif command == "serve":
+        return _cmd_serve(args)
     elif command == "mechanisms":
         study = analysis.mechanism_study(
             workloads=args.traces,

@@ -1,0 +1,142 @@
+"""Request queue of the campaign service: priorities, quotas, fair share.
+
+The scheduler admits campaigns through a :class:`FairShareQueue`, which
+answers three questions the paper-scale service needs answered before
+any cell runs:
+
+* **Admission (quotas)** — may this user have another campaign
+  outstanding?  A per-user quota bounds *queued + running* campaigns, so
+  one client script in a loop cannot starve everyone else;
+  :meth:`FairShareQueue.submit` raises :class:`QuotaExceeded` (the HTTP
+  layer maps it to ``429``).
+* **Ordering (priority, then fairness)** — when a run slot frees up,
+  which campaign starts next?  Higher ``priority`` always wins.  Within
+  a priority band the queue is *fair-share*: the user who has consumed
+  the least backend work so far (measured in cells started, the unit the
+  backend actually executes) goes first, so a user submitting one small
+  campaign is not stuck behind a user who queued fifty.  Ties break
+  FIFO by submission sequence, which keeps ordering deterministic.
+* **Accounting** — :meth:`started` / :meth:`finished` move campaigns
+  through queued → active → done and accrue each user's consumed share.
+
+The queue is plain synchronous data structure with no locks of its own:
+the scheduler drives it from a single asyncio event loop, which is the
+only writer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["QuotaExceeded", "QueueEntry", "FairShareQueue"]
+
+
+class QuotaExceeded(RuntimeError):
+    """The user already has their quota of outstanding campaigns."""
+
+    def __init__(self, user: str, quota: int) -> None:
+        super().__init__(
+            f"user {user!r} already has {quota} campaign(s) outstanding "
+            f"(the per-user quota); retry after one finishes"
+        )
+        self.user = user
+        self.quota = quota
+
+
+@dataclass
+class QueueEntry:
+    """One queued campaign: identity plus everything ordering needs."""
+
+    campaign_id: str
+    user: str
+    priority: int
+    weight: int  #: cells in the campaign — the fair-share unit
+    seq: int  #: admission sequence number (FIFO tie-break)
+
+
+@dataclass
+class _UserAccount:
+    outstanding: int = 0  #: queued + active campaigns
+    consumed: int = 0  #: cells started on behalf of this user, ever
+
+
+class FairShareQueue:
+    """Deterministic priority queue with per-user quotas and fair share."""
+
+    def __init__(self, quota: int | None = None) -> None:
+        #: Max queued+running campaigns per user (None = unlimited).
+        self.quota = quota
+        self._queued: list[QueueEntry] = []
+        self._accounts: dict[str, _UserAccount] = {}
+        self._seq = 0
+
+    def _account(self, user: str) -> _UserAccount:
+        return self._accounts.setdefault(user, _UserAccount())
+
+    def submit(
+        self, campaign_id: str, user: str, *, priority: int = 0, weight: int = 1
+    ) -> QueueEntry:
+        """Admit one campaign, or raise :class:`QuotaExceeded`."""
+        account = self._account(user)
+        if self.quota is not None and account.outstanding >= self.quota:
+            raise QuotaExceeded(user, self.quota)
+        entry = QueueEntry(
+            campaign_id=campaign_id,
+            user=user,
+            priority=priority,
+            weight=max(1, weight),
+            seq=self._seq,
+        )
+        self._seq += 1
+        account.outstanding += 1
+        self._queued.append(entry)
+        return entry
+
+    def pop(self) -> QueueEntry | None:
+        """Remove and return the campaign that should start next.
+
+        Highest priority first; within a priority band, the user with the
+        least consumed share; FIFO on ties.  Returns None when empty.
+        """
+        if not self._queued:
+            return None
+        best = min(
+            self._queued,
+            key=lambda e: (-e.priority, self._account(e.user).consumed, e.seq),
+        )
+        self._queued.remove(best)
+        return best
+
+    def started(self, entry: QueueEntry) -> None:
+        """Record that a popped campaign's cells are now being executed.
+
+        Consumed share accrues at *start* (not completion) so that a
+        user's next queued campaign immediately reflects the work their
+        running one occupies.
+        """
+        self._account(entry.user).consumed += entry.weight
+
+    def finished(self, entry: QueueEntry) -> None:
+        """Release the outstanding-campaign slot (done, failed, or rejected)."""
+        account = self._account(entry.user)
+        account.outstanding = max(0, account.outstanding - 1)
+
+    def cancel(self, campaign_id: str) -> bool:
+        """Drop a still-queued campaign; True if it was found."""
+        for entry in self._queued:
+            if entry.campaign_id == campaign_id:
+                self._queued.remove(entry)
+                self.finished(entry)
+                return True
+        return False
+
+    def consumed(self, user: str) -> int:
+        """Cells started on behalf of ``user`` so far (fair-share metric)."""
+        return self._account(user).consumed
+
+    def outstanding(self, user: str) -> int:
+        """Queued + running campaigns of ``user``."""
+        return self._account(user).outstanding
+
+    def __len__(self) -> int:
+        return len(self._queued)

@@ -1,0 +1,559 @@
+"""The async campaign scheduler: submissions → deduped cells → backends.
+
+This is the service-tier answer to the paper's methodology point — that
+conclusions require *many* workloads — at many-users scale: overlapping
+campaigns from independent clients must not multiply work.  The
+scheduler achieves that with three layers of dedupe, all keyed by the
+same content hashes the library tier already uses
+(:func:`repro.core.jobs.cell_key`):
+
+1. **Result cache** — a cell whose key is in the shared on-disk
+   :class:`~repro.campaign.ResultCache` is served without executing
+   anything (cross-run, cross-process, cross-host on shared storage).
+2. **In-flight registry** — a cell already executing for *any* campaign
+   in this scheduler is awaited, not re-submitted; every waiting
+   campaign receives the one result (and failures propagate to all of
+   them).
+3. **Cross-process claims** — with a shared cache directory, schedulers
+   in different processes coordinate through atomic ``.claim`` files
+   (``O_CREAT | O_EXCL``, the trace store's discipline): the first
+   scheduler to claim a key runs it, the others poll the cache until the
+   result lands.  A claim older than ``claim_timeout`` is presumed
+   orphaned (its owner crashed) and is stolen.
+
+Campaigns are admitted through the
+:class:`~repro.service.queue.FairShareQueue` (priorities, per-user
+quotas, fair-share start order) and executed with at most
+``backend.capacity`` cells in flight.  Every campaign gets its own
+replayable JSONL-schema event stream — the exact
+:mod:`repro.campaign` event vocabulary (``campaign_started``,
+``cell_finished``, ``cell_failed``, ``campaign_finished``) plus
+``campaign_queued`` and a ``source`` field on ``cell_finished`` saying
+*how* the cell was satisfied: ``"run"`` (this campaign executed it),
+``"cache"`` (served from the result cache), or ``"shared"`` (joined
+another campaign's in-flight execution).  Counting ``cell_finished``
+events with ``source == "run"`` across every campaign of every
+scheduler sharing a cache directory therefore counts *actual
+simulations* — the number the dedupe tests pin.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import os
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..campaign import EventLog, ResultCache, _MISS
+from ..core.jobs import CampaignCell, CellError, CellResult, cell_key
+from .backends import BackendCrash, CellExecutionError
+from .queue import FairShareQueue, QueueEntry, QuotaExceeded
+from .spec import summarize_value
+
+__all__ = [
+    "QUOTA_ENV",
+    "ACTIVE_ENV",
+    "CLAIM_TIMEOUT_ENV",
+    "POLL_ENV",
+    "CampaignState",
+    "Scheduler",
+    "QuotaExceeded",
+]
+
+#: Per-user quota of outstanding campaigns (unset = unlimited).
+QUOTA_ENV = "REPRO_SERVICE_QUOTA"
+#: Campaigns allowed to run concurrently (default 4).
+ACTIVE_ENV = "REPRO_SERVICE_ACTIVE"
+#: Seconds before a foreign cell claim is presumed orphaned (default 300).
+CLAIM_TIMEOUT_ENV = "REPRO_SERVICE_CLAIM_TIMEOUT"
+#: Seconds between polls while waiting on a foreign claim (default 0.05).
+POLL_ENV = "REPRO_SERVICE_POLL"
+
+DEFAULT_ACTIVE = 4
+DEFAULT_CLAIM_TIMEOUT = 300.0
+DEFAULT_POLL = 0.05
+
+#: Campaign lifecycle statuses.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+_TERMINAL = frozenset({DONE, FAILED})
+
+
+def _env_number(name: str, default: float) -> float:
+    value = os.environ.get(name)
+    if not value:
+        return default
+    try:
+        return float(value)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {value!r}") from None
+
+
+class _CellClaims:
+    """Atomic per-key claim files under the shared result-cache directory.
+
+    ``try_claim`` either creates ``<dir>/<k:2>/<key>.claim`` exclusively
+    (we run the cell) or reports the age of the existing claim (someone
+    else is running it — poll the cache).  Claims are advisory: a stale
+    one is deleted and re-taken, so a crashed owner delays a key by at
+    most ``claim_timeout`` seconds, never forever.
+    """
+
+    def __init__(self, directory: Path, timeout: float) -> None:
+        self.directory = Path(directory)
+        self.timeout = timeout
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.claim"
+
+    def try_claim(self, key: str) -> bool:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        while True:
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    age = time.time() - path.stat().st_mtime
+                except OSError:
+                    continue  # released between open and stat: race again
+                if age <= self.timeout:
+                    return False
+                try:  # orphaned claim: steal it
+                    path.unlink()
+                except OSError:
+                    return False
+            else:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(f"{os.getpid()} {time.time():.3f}\n")
+                return True
+
+    def release(self, key: str) -> None:
+        try:
+            self._path(key).unlink()
+        except OSError:
+            pass
+
+
+@dataclass
+class CampaignState:
+    """Everything the service knows about one submitted campaign."""
+
+    id: str
+    user: str
+    priority: int
+    cells: list[CampaignCell]
+    entry: QueueEntry
+    status: str = QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    outcomes: list[dict | None] = field(default_factory=list)
+    events: list[dict] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.outcomes:
+            self.outcomes = [None] * len(self.cells)
+
+    @property
+    def done(self) -> bool:
+        return self.status in _TERMINAL
+
+    def counts(self) -> dict:
+        finished = [o for o in self.outcomes if o is not None]
+        return {
+            "cells": len(self.cells),
+            "finished": len(finished),
+            "failed": sum(1 for o in finished if not o["ok"]),
+            "cached": sum(1 for o in finished if o.get("source") == "cache"),
+            "shared": sum(1 for o in finished if o.get("source") == "shared"),
+            "simulated": sum(1 for o in finished if o.get("source") == "run"),
+        }
+
+    def describe(self, *, results: bool = True) -> dict:
+        """The status document ``GET /campaigns/{id}`` returns."""
+        doc = {
+            "id": self.id,
+            "user": self.user,
+            "priority": self.priority,
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            **self.counts(),
+        }
+        if results and self.done:
+            doc["results"] = [o for o in self.outcomes if o is not None]
+        return doc
+
+
+class Scheduler:
+    """Async campaign scheduler over a pluggable execution backend.
+
+    Args:
+        backend: a started-or-startable backend from
+            :mod:`repro.service.backends`.
+        cache: shared result-cache directory (or a
+            :class:`~repro.campaign.ResultCache`); ``None`` falls back to
+            ``REPRO_CACHE_DIR``, unset disables caching *and*
+            cross-process claims.
+        quota: per-user outstanding-campaign quota
+            (default ``REPRO_SERVICE_QUOTA``; unset = unlimited).
+        max_active: campaigns run concurrently
+            (default ``REPRO_SERVICE_ACTIVE`` or 4).
+        events: optional service-global :class:`~repro.campaign.EventLog`
+            (or path) that additionally receives every campaign's events
+            with a ``campaign`` field attached.
+        claim_timeout / poll: cross-process claim staleness and cache
+            poll interval, seconds.
+    """
+
+    def __init__(
+        self,
+        backend,
+        *,
+        cache: ResultCache | str | Path | None = None,
+        quota: int | None = None,
+        max_active: int | None = None,
+        events: EventLog | str | Path | None = None,
+        claim_timeout: float | None = None,
+        poll: float | None = None,
+    ) -> None:
+        self.backend = backend
+        if cache is None:
+            cache = os.environ.get("REPRO_CACHE_DIR") or None
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        if quota is None:
+            env = os.environ.get(QUOTA_ENV)
+            quota = int(env) if env else None
+        self.queue = FairShareQueue(quota=quota)
+        self.max_active = int(
+            max_active
+            if max_active is not None
+            else _env_number(ACTIVE_ENV, DEFAULT_ACTIVE)
+        )
+        self.poll = (
+            poll if poll is not None else _env_number(POLL_ENV, DEFAULT_POLL)
+        )
+        claim_timeout = (
+            claim_timeout
+            if claim_timeout is not None
+            else _env_number(CLAIM_TIMEOUT_ENV, DEFAULT_CLAIM_TIMEOUT)
+        )
+        self.claims = (
+            _CellClaims(self.cache.directory, claim_timeout)
+            if self.cache is not None
+            else None
+        )
+        if events is not None and not isinstance(events, EventLog):
+            events = EventLog(events)
+        self.log = events
+        self.campaigns: dict[str, CampaignState] = {}
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._slots: asyncio.Semaphore | None = None
+        # Event objects stopped binding a loop at construction in 3.10,
+        # so these can be created eagerly, before any loop runs.
+        self._wakeup = asyncio.Event()
+        self._event_signal = asyncio.Event()
+        self._loop_task: asyncio.Task | None = None
+        self._campaign_tasks: set[asyncio.Task] = set()
+        self._active = 0
+        self._seq = itertools.count(1)
+        self.started_at = time.time()
+
+    # ------------------------- lifecycle -------------------------
+
+    async def start(self) -> None:
+        """Start the backend and the queue-draining loop."""
+        self._slots = asyncio.Semaphore(max(1, self.backend.capacity))
+        await self.backend.start()
+        self._loop_task = asyncio.create_task(self._drain_queue())
+
+    async def close(self) -> None:
+        """Stop draining, cancel running campaigns, shut the backend down."""
+        if self._loop_task is not None:
+            self._loop_task.cancel()
+            try:
+                await self._loop_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._loop_task = None
+        for task in list(self._campaign_tasks):
+            task.cancel()
+        if self._campaign_tasks:
+            await asyncio.gather(*self._campaign_tasks, return_exceptions=True)
+        await self.backend.close()
+        if self.log is not None:
+            self.log.close()
+
+    # ------------------------- submission -------------------------
+
+    def submit(
+        self,
+        cells: list[CampaignCell],
+        *,
+        user: str = "anonymous",
+        priority: int = 0,
+    ) -> CampaignState:
+        """Admit one campaign; raises :class:`QuotaExceeded` over quota.
+
+        Must be called on the scheduler's event loop (the HTTP layer
+        does); returns immediately with the queued
+        :class:`CampaignState`.
+        """
+        if not cells:
+            raise ValueError("a campaign needs at least one cell")
+        campaign_id = f"c{next(self._seq):06d}-{uuid.uuid4().hex[:8]}"
+        entry = self.queue.submit(
+            campaign_id, user, priority=priority, weight=len(cells)
+        )
+        state = CampaignState(
+            id=campaign_id,
+            user=user,
+            priority=priority,
+            cells=list(cells),
+            entry=entry,
+        )
+        self.campaigns[campaign_id] = state
+        self._emit(
+            state,
+            "campaign_queued",
+            user=user,
+            priority=priority,
+            cells=len(cells),
+        )
+        self._wakeup.set()
+        return state
+
+    def get(self, campaign_id: str) -> CampaignState | None:
+        return self.campaigns.get(campaign_id)
+
+    def describe(self) -> dict:
+        """Service-level status (the ``/healthz`` document)."""
+        return {
+            "status": "ok",
+            "backend": getattr(self.backend, "name", type(self.backend).__name__),
+            "capacity": self.backend.capacity,
+            "campaigns": len(self.campaigns),
+            "queued": len(self.queue),
+            "active": self._active,
+            "cache": str(self.cache.directory) if self.cache is not None else None,
+            "uptime_seconds": time.time() - self.started_at,
+        }
+
+    # --------------------------- events ---------------------------
+
+    def _emit(self, state: CampaignState, event: str, **fields) -> None:
+        record = {"event": event, "time": time.time(), **fields}
+        state.events.append(record)
+        if self.log is not None:
+            self.log.emit(event, campaign=state.id, **fields)
+        # Wake every subscriber by retiring the current signal object.
+        # Streamers grab a reference *before* scanning the event list, so
+        # an event appended after their scan has already set the signal
+        # they hold — no lost wakeups, no condition-variable dance.
+        signal, self._event_signal = self._event_signal, asyncio.Event()
+        signal.set()
+
+    async def stream_events(self, state: CampaignState):
+        """Yield a campaign's events: full replay, then live until terminal.
+
+        Every subscriber gets the identical sequence regardless of when
+        it connected — late joiners replay history first (the SSE replay
+        semantics the HTTP layer exposes).
+        """
+        position = 0
+        while True:
+            signal = self._event_signal
+            while position < len(state.events):
+                yield state.events[position]
+                position += 1
+            if state.done:
+                return
+            await signal.wait()
+
+    # ------------------------ the run loop ------------------------
+
+    async def _drain_queue(self) -> None:
+        while True:
+            await self._wakeup.wait()
+            self._wakeup.clear()
+            while len(self.queue) and self._active < self.max_active:
+                entry = self.queue.pop()
+                state = self.campaigns[entry.campaign_id]
+                self.queue.started(entry)
+                self._active += 1
+                task = asyncio.create_task(self._run_campaign(state))
+                self._campaign_tasks.add(task)
+                task.add_done_callback(self._campaign_tasks.discard)
+
+    async def _run_campaign(self, state: CampaignState) -> None:
+        state.status = RUNNING
+        state.started_at = time.time()
+        self._emit(
+            state,
+            "campaign_started",
+            cells=len(state.cells),
+            workers=self.backend.capacity,
+            user=state.user,
+        )
+        try:
+            await asyncio.gather(
+                *(
+                    self._resolve_cell(state, index, cell)
+                    for index, cell in enumerate(state.cells)
+                )
+            )
+        except asyncio.CancelledError:
+            state.status = FAILED
+            state.finished_at = time.time()
+            self._emit(state, "campaign_finished", status=FAILED,
+                       **state.counts())
+            raise
+        except Exception as exc:  # defensive: a bug must not hang clients
+            state.status = FAILED
+            state.finished_at = time.time()
+            self._emit(
+                state,
+                "campaign_finished",
+                status=FAILED,
+                error=type(exc).__name__,
+                message=str(exc),
+                **state.counts(),
+            )
+        else:
+            counts = state.counts()
+            state.status = DONE
+            state.finished_at = time.time()
+            self._emit(
+                state,
+                "campaign_finished",
+                status=DONE,
+                wall_seconds=state.finished_at - state.started_at,
+                **counts,
+            )
+        finally:
+            self.queue.finished(state.entry)
+            self._active -= 1
+            if self._wakeup is not None:
+                self._wakeup.set()
+
+    # ------------------------- cell dedupe -------------------------
+
+    async def _resolve_cell(
+        self, state: CampaignState, index: int, cell: CampaignCell
+    ) -> None:
+        key = cell_key(cell)
+        source, payload = await self._obtain(cell, key)
+        if isinstance(payload, CellError):
+            state.outcomes[index] = {
+                "label": cell.label,
+                "index": index,
+                "key": key,
+                "ok": False,
+                "source": source,
+                "error": payload.type,
+                "message": payload.message,
+            }
+            self._emit(
+                state,
+                "cell_failed",
+                label=cell.label,
+                index=index,
+                key=key,
+                error=payload.type,
+                message=payload.message,
+                attempts=1,
+            )
+            return
+        result: CellResult = payload
+        state.outcomes[index] = {
+            "label": cell.label,
+            "index": index,
+            "key": key,
+            "ok": True,
+            "source": source,
+            "cached": source != "run",
+            "references": result.references,
+            "wall_seconds": result.wall_seconds if source == "run" else 0.0,
+            "value": summarize_value(result.value),
+        }
+        self._emit(
+            state,
+            "cell_finished",
+            label=cell.label,
+            index=index,
+            key=key,
+            cached=source != "run",
+            source=source,
+            wall_seconds=result.wall_seconds if source == "run" else 0.0,
+            references=result.references,
+            refs_per_second=(
+                result.references / result.wall_seconds
+                if source == "run" and result.wall_seconds > 0
+                else 0.0
+            ),
+            attempts=1 if source == "run" else 0,
+        )
+
+    async def _obtain(self, cell: CampaignCell, key: str):
+        """Resolve one cell key to ``(source, CellResult | CellError)``.
+
+        Order of escalation: result cache → in-flight future → foreign
+        claim (poll the cache) → execute on the backend.
+        """
+        while True:
+            if self.cache is not None:
+                hit = self.cache.get(key)
+                if hit is not _MISS and isinstance(hit, CellResult):
+                    return "cache", hit
+            future = self._inflight.get(key)
+            if future is not None:
+                payload = await asyncio.shield(future)
+                return "shared", payload
+            if self.claims is not None and not self.claims.try_claim(key):
+                # Another process owns this key: poll until its result
+                # lands in the shared cache (or the claim goes stale).
+                await asyncio.sleep(self.poll)
+                continue
+            try:
+                return "run", await self._execute(cell, key)
+            finally:
+                if self.claims is not None:
+                    self.claims.release(key)
+
+    async def _execute(self, cell: CampaignCell, key: str):
+        future = asyncio.get_event_loop().create_future()
+        self._inflight[key] = future
+        try:
+            async with self._slots:
+                try:
+                    result = await self.backend.run(cell)
+                except CellExecutionError as exc:
+                    payload = exc.error
+                except BackendCrash as exc:
+                    payload = CellError(
+                        type="BackendCrash", message=str(exc), traceback=""
+                    )
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    payload = CellError.from_exception(exc)
+                else:
+                    payload = result
+                    if self.cache is not None:
+                        self.cache.put(key, result)
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+                # Consume the exception if nobody awaited the future.
+                future.exception()
+            raise
+        finally:
+            self._inflight.pop(key, None)
+        future.set_result(payload)
+        return payload

@@ -1,0 +1,294 @@
+"""Wire format of the campaign service: JSON campaign specs and results.
+
+The HTTP API ships campaigns as JSON documents, so the service needs a
+bidirectional mapping between the picklable cell layer
+(:class:`~repro.core.jobs.CampaignCell` and its job dataclasses) and
+plain JSON.  Only *reconstructible* cells travel over the wire: catalog
+and mix trace specs, whose identity is a handful of names and integers
+that any worker can regenerate deterministically.  ``inline`` and
+``file`` specs are rejected — an inline trace only exists in the
+caller's process and a file path is not portable across hosts.
+
+A campaign spec document looks like::
+
+    {
+      "cells": [
+        {"label": "VCCOM/1024",
+         "trace": {"kind": "catalog", "name": "VCCOM", "length": 20000},
+         "job": {"type": "simulate", "size": 1024, "line_size": 16}},
+        ...
+      ]
+    }
+
+Results travel back as JSON *summaries* (:func:`summarize_value`): the
+numbers a client tabulates (miss ratios, references, per-sweep curves),
+not the full pickled payloads — those stay in the shared
+content-addressed result cache, which is the scalable channel for bulky
+data.  Two clients submitting identical cells receive byte-identical
+summaries because both are rendered from the same cached
+:class:`~repro.core.jobs.CellResult`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.jobs import (
+    AssociativitySweepJob,
+    CampaignCell,
+    MechanismStudyJob,
+    SimulateJob,
+    StackSweepJob,
+    TraceSpec,
+)
+from ..core.misspath import MechanismConfig
+from ..core.simulator import SimulationReport
+
+__all__ = [
+    "SpecError",
+    "MAX_CELLS_DEFAULT",
+    "encode_cells",
+    "decode_cells",
+    "summarize_value",
+]
+
+
+class SpecError(ValueError):
+    """A campaign spec document that cannot be (safely) reconstructed."""
+
+
+#: Default ceiling on cells per submitted campaign (guards the service
+#: against a single request monopolizing the backend).
+MAX_CELLS_DEFAULT = 4096
+
+
+# --------------------------- trace specs ---------------------------
+
+def _encode_trace(spec: TraceSpec) -> dict:
+    if spec.kind == "catalog":
+        return {"kind": "catalog", "name": spec.name, "length": spec.length}
+    if spec.kind == "mix":
+        return {
+            "kind": "mix",
+            "name": spec.name,
+            "length": spec.length,
+            "members": list(spec.members),
+            "quantum": spec.quantum,
+            "total": spec.total,
+        }
+    raise SpecError(
+        f"trace spec kind {spec.kind!r} cannot travel over the wire; "
+        "only 'catalog' and 'mix' traces are reconstructible remotely"
+    )
+
+
+def _decode_trace(doc: dict) -> TraceSpec:
+    kind = doc.get("kind")
+    if kind == "catalog":
+        return TraceSpec.catalog(str(doc["name"]), _opt_int(doc.get("length")))
+    if kind == "mix":
+        members = doc.get("members")
+        if not isinstance(members, list) or not members:
+            raise SpecError("mix trace spec needs a non-empty 'members' list")
+        return TraceSpec.mix(
+            str(doc.get("name", "+".join(members))),
+            tuple(str(m) for m in members),
+            quantum=int(doc["quantum"]),
+            length=_opt_int(doc.get("length")),
+            total=_opt_int(doc.get("total")),
+        )
+    raise SpecError(f"unknown trace spec kind {kind!r}")
+
+
+def _opt_int(value) -> int | None:
+    return None if value is None else int(value)
+
+
+# ------------------------------ jobs ------------------------------
+
+_SIMULATE_FIELDS = dict(
+    size=int,
+    line_size=int,
+    associativity=_opt_int,
+    replacement=str,
+    write=str,
+    fetch=str,
+    split=bool,
+    purge_interval=_opt_int,
+    limit=_opt_int,
+    warmup=int,
+)
+
+
+def _simulate_kwargs(doc: dict) -> dict:
+    if "size" not in doc:
+        raise SpecError("simulate job needs a 'size'")
+    kwargs = {}
+    for name, convert in _SIMULATE_FIELDS.items():
+        if name in doc:
+            kwargs[name] = convert(doc[name])
+    return kwargs
+
+
+def _encode_job(job) -> dict:
+    if isinstance(job, MechanismStudyJob):
+        doc = {"type": "mechanism-study", **job.identity()}
+        doc.pop("job", None)
+        doc["mechanisms"] = {
+            "victim_entries": job.mechanisms.victim_entries,
+            "miss_entries": job.mechanisms.miss_entries,
+            "stream_buffers": job.mechanisms.stream_buffers,
+            "stream_depth": job.mechanisms.stream_depth,
+            "l2_size": job.mechanisms.l2_size,
+            "l2_line_size": job.mechanisms.l2_line_size,
+            "l2_associativity": job.mechanisms.l2_associativity,
+        }
+        return doc
+    if isinstance(job, SimulateJob):
+        doc = {"type": "simulate", **job.identity()}
+        doc.pop("job", None)
+        return doc
+    if isinstance(job, StackSweepJob):
+        doc = {"type": "stack-sweep", **job.identity()}
+        doc.pop("job", None)
+        return doc
+    if isinstance(job, AssociativitySweepJob):
+        doc = {"type": "associativity-sweep", **job.identity()}
+        doc.pop("job", None)
+        return doc
+    raise SpecError(
+        f"job type {type(job).__name__!r} cannot travel over the wire"
+    )
+
+
+def _decode_job(doc: dict):
+    kind = doc.get("type")
+    if kind == "simulate":
+        return SimulateJob(**_simulate_kwargs(doc))
+    if kind == "mechanism-study":
+        mech = doc.get("mechanisms") or {}
+        config = MechanismConfig(
+            victim_entries=int(mech.get("victim_entries", 0)),
+            miss_entries=int(mech.get("miss_entries", 0)),
+            stream_buffers=int(mech.get("stream_buffers", 0)),
+            stream_depth=int(mech.get("stream_depth", 4)),
+            l2_size=_opt_int(mech.get("l2_size")),
+            l2_line_size=_opt_int(mech.get("l2_line_size")),
+            l2_associativity=_opt_int(mech.get("l2_associativity")),
+        )
+        return MechanismStudyJob(mechanisms=config, **_simulate_kwargs(doc))
+    if kind == "stack-sweep":
+        sizes = doc.get("sizes")
+        if not isinstance(sizes, list) or not sizes:
+            raise SpecError("stack-sweep job needs a non-empty 'sizes' list")
+        kinds = doc.get("kinds")
+        return StackSweepJob(
+            sizes=tuple(int(s) for s in sizes),
+            line_size=int(doc.get("line_size", 16)),
+            kinds=tuple(int(k) for k in kinds) if kinds is not None else None,
+            purge_interval=_opt_int(doc.get("purge_interval")),
+        )
+    if kind == "associativity-sweep":
+        ways = doc.get("ways")
+        capacities = doc.get("capacities")
+        if not isinstance(ways, list) or not isinstance(capacities, list):
+            raise SpecError("associativity-sweep job needs 'ways' and 'capacities'")
+        return AssociativitySweepJob(
+            ways=tuple(_opt_int(w) for w in ways),
+            capacities=tuple(int(c) for c in capacities),
+            line_size=int(doc.get("line_size", 16)),
+        )
+    raise SpecError(f"unknown job type {kind!r}")
+
+
+# ------------------------------ cells ------------------------------
+
+def encode_cells(cells) -> list[dict]:
+    """Render campaign cells as the JSON wire document (``cells`` list)."""
+    return [
+        {
+            "label": cell.label,
+            "trace": _encode_trace(cell.trace),
+            "job": _encode_job(cell.job),
+        }
+        for cell in cells
+    ]
+
+
+def decode_cells(document, *, max_cells: int = MAX_CELLS_DEFAULT) -> list[CampaignCell]:
+    """Reconstruct campaign cells from a spec document.
+
+    Accepts either the full ``{"cells": [...]}`` document or the bare
+    cell list.  Raises :class:`SpecError` on anything malformed, unknown,
+    or over the ``max_cells`` ceiling — the server maps that to a 400.
+    """
+    if isinstance(document, dict):
+        document = document.get("cells")
+    if not isinstance(document, list) or not document:
+        raise SpecError("campaign spec needs a non-empty 'cells' list")
+    if len(document) > max_cells:
+        raise SpecError(
+            f"campaign has {len(document)} cells; the service caps "
+            f"campaigns at {max_cells}"
+        )
+    cells = []
+    for position, doc in enumerate(document):
+        if not isinstance(doc, dict):
+            raise SpecError(f"cell {position} is not an object")
+        try:
+            trace = _decode_trace(doc.get("trace") or {})
+            job = _decode_job(doc.get("job") or {})
+        except SpecError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SpecError(f"cell {position} is malformed: {exc}") from None
+        label = str(doc.get("label") or f"{trace.name}/{position}")
+        cells.append(CampaignCell(label=label, trace=trace, job=job))
+    return cells
+
+
+# ----------------------------- results -----------------------------
+
+def _finite(value: float) -> float | None:
+    """NaN-safe JSON number (JSON has no NaN; clients get null)."""
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+def summarize_value(value) -> dict:
+    """JSON-able summary of one cell's payload.
+
+    * :class:`SimulationReport` → miss ratios (overall / instruction /
+      data, plus ``effective`` and per-mechanism blocks when a miss path
+      was attached), references, and memory traffic;
+    * stack-sweep tuples → ``{"curve": [...]}``;
+    * associativity surfaces → ``{"surface": [[...], ...]}``.
+    """
+    if isinstance(value, SimulationReport):
+        summary = {
+            "type": "report",
+            "trace": value.trace_name,
+            "references": value.references,
+            "miss_ratio": _finite(value.miss_ratio),
+            "instruction_miss_ratio": _finite(value.instruction_miss_ratio),
+            "data_miss_ratio": _finite(value.data_miss_ratio),
+            "memory_traffic_bytes": value.overall.memory_traffic_bytes,
+        }
+        if value.mechanisms:
+            summary["effective_miss_ratio"] = _finite(value.effective_miss_ratio)
+            summary["mechanisms"] = {
+                name: {
+                    "references": stats.references,
+                    "miss_ratio": _finite(stats.miss_ratio),
+                }
+                for name, stats in value.mechanisms
+            }
+        return summary
+    if isinstance(value, tuple) and value and isinstance(value[0], tuple):
+        return {
+            "type": "surface",
+            "surface": [[_finite(v) for v in row] for row in value],
+        }
+    if isinstance(value, tuple):
+        return {"type": "curve", "curve": [_finite(v) for v in value]}
+    return {"type": "opaque", "repr": repr(value)}

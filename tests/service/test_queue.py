@@ -1,0 +1,88 @@
+"""Tests for the fair-share admission queue: quotas, priority, fairness."""
+
+import pytest
+
+from repro.service.queue import FairShareQueue, QuotaExceeded
+
+
+class TestQuota:
+    def test_quota_bounds_outstanding_campaigns(self):
+        queue = FairShareQueue(quota=2)
+        queue.submit("a", "alice")
+        queue.submit("b", "alice")
+        with pytest.raises(QuotaExceeded) as excinfo:
+            queue.submit("c", "alice")
+        assert excinfo.value.user == "alice"
+        assert excinfo.value.quota == 2
+
+    def test_quota_is_per_user(self):
+        queue = FairShareQueue(quota=1)
+        queue.submit("a", "alice")
+        queue.submit("b", "bob")  # bob's own quota, unaffected by alice
+
+    def test_finishing_releases_the_slot(self):
+        queue = FairShareQueue(quota=1)
+        entry = queue.submit("a", "alice")
+        queue.pop()
+        queue.started(entry)
+        queue.finished(entry)
+        queue.submit("b", "alice")  # does not raise
+
+    def test_no_quota_means_unlimited(self):
+        queue = FairShareQueue()
+        for index in range(50):
+            queue.submit(f"c{index}", "alice")
+        assert len(queue) == 50
+
+
+class TestOrdering:
+    def test_priority_beats_submission_order(self):
+        queue = FairShareQueue()
+        queue.submit("low", "alice", priority=0)
+        queue.submit("high", "bob", priority=5)
+        assert queue.pop().campaign_id == "high"
+        assert queue.pop().campaign_id == "low"
+
+    def test_fifo_within_a_priority_band(self):
+        queue = FairShareQueue()
+        queue.submit("first", "alice")
+        queue.submit("second", "bob")
+        assert queue.pop().campaign_id == "first"
+        assert queue.pop().campaign_id == "second"
+
+    def test_fair_share_prefers_the_lighter_user(self):
+        queue = FairShareQueue()
+        big = queue.submit("big-1", "hog", weight=50)
+        queue.submit("big-2", "hog", weight=50)
+        queue.submit("small", "mouse", weight=1)
+        # The hog's first campaign started first (FIFO on zero consumed)...
+        assert queue.pop() is big
+        queue.started(big)
+        # ...but once its 50 cells are accounted, the mouse jumps ahead of
+        # the hog's second campaign despite submitting later.
+        assert queue.pop().campaign_id == "small"
+        assert queue.pop().campaign_id == "big-2"
+
+    def test_consumed_share_accrues_at_start(self):
+        queue = FairShareQueue()
+        entry = queue.submit("a", "alice", weight=7)
+        queue.pop()
+        assert queue.consumed("alice") == 0
+        queue.started(entry)
+        assert queue.consumed("alice") == 7
+
+    def test_pop_empty_returns_none(self):
+        assert FairShareQueue().pop() is None
+
+
+class TestCancel:
+    def test_cancel_drops_the_entry_and_releases_quota(self):
+        queue = FairShareQueue(quota=1)
+        queue.submit("a", "alice")
+        assert queue.cancel("a") is True
+        assert len(queue) == 0
+        assert queue.outstanding("alice") == 0
+        queue.submit("b", "alice")  # slot is free again
+
+    def test_cancel_unknown_id_is_false(self):
+        assert FairShareQueue().cancel("ghost") is False

@@ -1,0 +1,286 @@
+"""Tests for the async scheduler: lifecycle, event streams, and the
+three dedupe layers (cache, in-flight sharing, cross-scheduler claims)."""
+
+import asyncio
+
+import pytest
+
+from repro.core.jobs import CampaignCell, SimulateJob, StackSweepJob, TraceSpec
+from repro.service.backends import BackendCrash, InlineBackend
+from repro.service.queue import QuotaExceeded
+from repro.service.scheduler import Scheduler
+
+from .helpers import fail_on_marker, fake_run, slow_fake_run
+
+LENGTH = 4_000
+
+
+def make_cells(count=3, offset=0):
+    """Cells with distinct lengths, so each has a distinct cache key."""
+    return [
+        CampaignCell(
+            f"cell-{offset + i}",
+            TraceSpec.catalog("ZGREP", LENGTH + offset + i),
+            StackSweepJob(sizes=(512, 2048)),
+        )
+        for i in range(count)
+    ]
+
+
+async def run_to_done(scheduler, cells, **kwargs):
+    """Submit one campaign and wait for its terminal event."""
+    state = scheduler.submit(cells, **kwargs)
+    async for _ in scheduler.stream_events(state):
+        pass
+    return state
+
+
+def sources(state):
+    return [o["source"] for o in state.outcomes]
+
+
+class TestLifecycle:
+    def test_campaign_runs_to_done_with_ordered_outcomes(self, tmp_path):
+        async def body():
+            scheduler = Scheduler(
+                InlineBackend(capacity=2, runner=fake_run),
+                cache=tmp_path / "cache",
+            )
+            await scheduler.start()
+            try:
+                state = await run_to_done(scheduler, make_cells(3))
+            finally:
+                await scheduler.close()
+            return state
+
+        state = asyncio.run(body())
+        assert state.status == "done"
+        assert [o["label"] for o in state.outcomes] == [
+            "cell-0", "cell-1", "cell-2"
+        ]
+        kinds = [e["event"] for e in state.events]
+        assert kinds[0] == "campaign_queued"
+        assert kinds[1] == "campaign_started"
+        assert kinds[-1] == "campaign_finished"
+        assert kinds.count("cell_finished") == 3
+        assert state.counts()["simulated"] == 3
+
+    def test_event_stream_replays_for_late_joiners(self, tmp_path):
+        async def body():
+            scheduler = Scheduler(
+                InlineBackend(runner=fake_run), cache=tmp_path / "cache"
+            )
+            await scheduler.start()
+            try:
+                state = await run_to_done(scheduler, make_cells(2))
+                replay = [e async for e in scheduler.stream_events(state)]
+            finally:
+                await scheduler.close()
+            return state, replay
+
+        state, replay = asyncio.run(body())
+        assert replay == state.events
+
+    def test_failed_cells_leave_the_campaign_done_not_hung(self, tmp_path):
+        async def body():
+            scheduler = Scheduler(
+                InlineBackend(runner=fail_on_marker), cache=tmp_path / "cache"
+            )
+            await scheduler.start()
+            try:
+                cells = make_cells(1) + [
+                    CampaignCell(
+                        "FAIL-cell",
+                        TraceSpec.catalog("ZGREP", LENGTH + 99),
+                        StackSweepJob(sizes=(512,)),
+                    )
+                ]
+                state = await run_to_done(scheduler, cells)
+            finally:
+                await scheduler.close()
+            return state
+
+        state = asyncio.run(body())
+        assert state.status == "done"
+        counts = state.counts()
+        assert counts["failed"] == 1 and counts["finished"] == 2
+        failed = state.outcomes[1]
+        assert failed["ok"] is False and failed["error"] == "ValueError"
+        assert any(e["event"] == "cell_failed" for e in state.events)
+
+    def test_backend_crash_becomes_a_failed_outcome(self, tmp_path):
+        class CrashingBackend:
+            name = "crashing"
+            capacity = 1
+
+            async def start(self):
+                pass
+
+            async def run(self, cell):
+                raise BackendCrash("vehicle lost")
+
+            async def close(self):
+                pass
+
+        async def body():
+            scheduler = Scheduler(CrashingBackend(), cache=tmp_path / "cache")
+            await scheduler.start()
+            try:
+                state = await run_to_done(scheduler, make_cells(2))
+            finally:
+                await scheduler.close()
+            return state
+
+        state = asyncio.run(body())
+        assert state.status == "done"
+        assert state.counts()["failed"] == 2
+        assert all(o["error"] == "BackendCrash" for o in state.outcomes)
+
+    def test_quota_rejects_at_submit(self, tmp_path):
+        async def body():
+            scheduler = Scheduler(
+                InlineBackend(runner=fake_run),
+                cache=tmp_path / "cache",
+                quota=1,
+            )
+            # Not started: the first campaign stays queued (outstanding).
+            scheduler.submit(make_cells(1), user="alice")
+            with pytest.raises(QuotaExceeded):
+                scheduler.submit(make_cells(1, offset=5), user="alice")
+            scheduler.submit(make_cells(1, offset=9), user="bob")
+            await scheduler.close()
+
+        asyncio.run(body())
+
+    def test_empty_campaign_rejected(self, tmp_path):
+        async def body():
+            scheduler = Scheduler(
+                InlineBackend(runner=fake_run), cache=tmp_path / "cache"
+            )
+            with pytest.raises(ValueError):
+                scheduler.submit([])
+            await scheduler.close()
+
+        asyncio.run(body())
+
+
+class TestDedupe:
+    def test_second_campaign_is_served_from_cache(self, tmp_path):
+        async def body():
+            scheduler = Scheduler(
+                InlineBackend(runner=fake_run), cache=tmp_path / "cache"
+            )
+            await scheduler.start()
+            try:
+                first = await run_to_done(scheduler, make_cells(3))
+                second = await run_to_done(scheduler, make_cells(3))
+            finally:
+                await scheduler.close()
+            return first, second
+
+        first, second = asyncio.run(body())
+        assert sources(first) == ["run", "run", "run"]
+        assert sources(second) == ["cache", "cache", "cache"]
+        assert [o["value"] for o in first.outcomes] == [
+            o["value"] for o in second.outcomes
+        ]
+
+    def test_overlapping_campaigns_share_in_flight_cells(self, tmp_path):
+        async def body():
+            scheduler = Scheduler(
+                InlineBackend(capacity=4, runner=slow_fake_run),
+                cache=tmp_path / "cache",
+            )
+            await scheduler.start()
+            try:
+                cells = make_cells(3)
+                one = scheduler.submit(cells, user="alice")
+                two = scheduler.submit(cells, user="bob")
+                await asyncio.gather(
+                    run_to_done_state(scheduler, one),
+                    run_to_done_state(scheduler, two),
+                )
+            finally:
+                await scheduler.close()
+            return one, two
+
+        one, two = asyncio.run(body())
+        runs = sources(one).count("run") + sources(two).count("run")
+        shared = sources(one).count("shared") + sources(two).count("shared")
+        cached = sources(one).count("cache") + sources(two).count("cache")
+        # Each distinct cell executed exactly once; the other campaign's
+        # copies were satisfied by sharing or the by-then-warm cache.
+        assert runs == 3
+        assert shared + cached == 3
+        assert [o["value"] for o in one.outcomes] == [
+            o["value"] for o in two.outcomes
+        ]
+
+    def test_two_schedulers_sharing_a_cache_dir_simulate_each_cell_once(
+        self, tmp_path
+    ):
+        """The cross-process claim protocol, exercised by two independent
+        scheduler instances over one cache directory: overlapping
+        campaigns must not multiply work, and the event logs prove it."""
+
+        async def body():
+            cache = tmp_path / "shared-cache"
+            schedulers = [
+                Scheduler(
+                    InlineBackend(capacity=4, runner=slow_fake_run),
+                    cache=cache,
+                    poll=0.01,
+                )
+                for _ in range(2)
+            ]
+            for scheduler in schedulers:
+                await scheduler.start()
+            try:
+                cells = make_cells(4)
+                states = [s.submit(cells, user=f"u{i}")
+                          for i, s in enumerate(schedulers)]
+                await asyncio.gather(
+                    *(
+                        run_to_done_state(scheduler, state)
+                        for scheduler, state in zip(schedulers, states)
+                    )
+                )
+            finally:
+                for scheduler in schedulers:
+                    await scheduler.close()
+            return states
+
+        states = asyncio.run(body())
+        assert all(state.status == "done" for state in states)
+        # The dedupe invariant: cell_finished events with source == "run"
+        # across *all* schedulers count actual simulations.
+        simulated = sum(
+            1
+            for state in states
+            for event in state.events
+            if event["event"] == "cell_finished" and event["source"] == "run"
+        )
+        assert simulated == 4
+        values = [[o["value"] for o in state.outcomes] for state in states]
+        assert values[0] == values[1]
+
+    def test_claim_files_are_cleaned_up(self, tmp_path):
+        async def body():
+            cache = tmp_path / "cache"
+            scheduler = Scheduler(
+                InlineBackend(runner=fake_run), cache=cache
+            )
+            await scheduler.start()
+            try:
+                await run_to_done(scheduler, make_cells(2))
+            finally:
+                await scheduler.close()
+            return list(cache.rglob("*.claim"))
+
+        assert asyncio.run(body()) == []
+
+
+async def run_to_done_state(scheduler, state):
+    async for _ in scheduler.stream_events(state):
+        pass
+    return state

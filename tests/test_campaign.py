@@ -274,6 +274,31 @@ class TestRunCampaign:
         # The repaired entry is readable again.
         assert isinstance(store.get(key), CellResult)
 
+    @pytest.mark.parametrize("junk", [b"not a pickle", b"garbage\n"])
+    def test_corrupt_cache_entry_is_deleted_on_read(self, tmp_path, junk):
+        """Torn/corrupt entries are removed, not left to fail every read —
+        the same self-healing policy the trace store applies."""
+        cells = small_cells()[:1]
+        store = ResultCache(tmp_path)
+        run_campaign(cells, workers=1, cache=store)
+        key = cell_key(cells[0])
+        path = store._path(key)
+        path.write_bytes(junk)
+        store.get(key)  # the miss that notices the corruption
+        assert not path.exists()
+
+    def test_truncated_cache_entry_is_rebuilt(self, tmp_path):
+        """A torn write (partial pickle) degrades to a miss and is rebuilt."""
+        cells = small_cells()[:1]
+        store = ResultCache(tmp_path)
+        run_campaign(cells, workers=1, cache=store)
+        key = cell_key(cells[0])
+        path = store._path(key)
+        path.write_bytes(path.read_bytes()[:-7])
+        result = run_campaign(cells, workers=1, cache=store)
+        assert result.cached_cells == 0
+        assert isinstance(store.get(key), CellResult)
+
     def test_progress_callback_in_submission_order(self):
         cells = small_cells()
         seen = []

@@ -322,6 +322,36 @@ class TestStreamingProgress:
             assert result.values() == reference
             assert result.failed_cells == 0
 
+    def test_progress_exception_surfaces_as_one_callback_error_event(
+        self, tmp_path
+    ):
+        """Swallowed callback exceptions are not silent: the event log gets
+        a single ``callback_error`` record (once, not once per cell)."""
+        cells = make_cells(["a", "b", "c"])
+        events = tmp_path / "events.jsonl"
+
+        def explosive(outcome):
+            raise RuntimeError("broken progress bar")
+
+        run_campaign(
+            cells, workers=1, cache=False, progress=explosive, events=events
+        )
+        records = [json.loads(line) for line in events.read_text().splitlines()]
+        errors = [r for r in records if r["event"] == "callback_error"]
+        assert len(errors) == 1
+        assert errors[0]["error"] == "RuntimeError"
+        assert "broken progress bar" in errors[0]["message"]
+
+    def test_healthy_progress_emits_no_callback_error(self, tmp_path):
+        cells = make_cells(["a"])
+        events = tmp_path / "events.jsonl"
+        run_campaign(
+            cells, workers=1, cache=False, progress=lambda o: None,
+            events=events,
+        )
+        records = [json.loads(line) for line in events.read_text().splitlines()]
+        assert not [r for r in records if r["event"] == "callback_error"]
+
 
 class TestEventLog:
     def test_lifecycle_events_for_a_clean_campaign(self, tmp_path):

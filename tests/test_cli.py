@@ -121,6 +121,26 @@ class TestCampaignCommand:
         assert code == 0
         assert "1 cached, 0 simulated" in out
 
+    def test_events_dash_streams_jsonl_to_stdout(self, capsys):
+        import json
+
+        code, out = run_cli(
+            capsys, "campaign", "--traces", "ZGREP", "--sizes", "512",
+            "--length", "4000", "--workers", "1", "--no-cache",
+            "--events", "-",
+        )
+        assert code == 0
+        records = [
+            json.loads(line) for line in out.splitlines()
+            if line.startswith("{")
+        ]
+        kinds = [r["event"] for r in records]
+        assert "campaign_started" in kinds
+        assert "cell_finished" in kinds
+        assert "campaign_finished" in kinds
+        # The human-readable table still renders around the event stream.
+        assert "Campaign miss ratios" in out
+
     def test_mechanism_campaign(self, capsys):
         code, out = run_cli(
             capsys, "campaign", "--traces", "ZGREP", "--sizes", "512,2048",
@@ -145,6 +165,58 @@ class TestCampaignCommand:
         assert "Mechanism study" in out
         assert "vc+sb" in out
         assert "Mechanism internals" in out
+
+    def test_remote_campaign_round_trip(self, capsys, tmp_path):
+        from repro.service import BackgroundServer, InlineBackend, Scheduler
+
+        scheduler = Scheduler(
+            InlineBackend(capacity=2), cache=tmp_path / "cache"
+        )
+        with BackgroundServer(scheduler) as server:
+            code, out = run_cli(
+                capsys, "campaign", "--traces", "ZGREP,PLO",
+                "--sizes", "512,2048", "--length", "4000",
+                "--remote", server.url,
+            )
+        assert code == 0
+        assert "Remote campaign miss ratios" in out
+        assert "ZGREP" in out and "PLO" in out
+        assert "4 cells" in out
+        assert "0 failed" in out
+
+    def test_remote_url_from_environment(self, capsys, tmp_path, monkeypatch):
+        from repro.service import (
+            SERVICE_URL_ENV,
+            BackgroundServer,
+            InlineBackend,
+            Scheduler,
+        )
+
+        scheduler = Scheduler(
+            InlineBackend(capacity=2), cache=tmp_path / "cache"
+        )
+        with BackgroundServer(scheduler) as server:
+            monkeypatch.setenv(SERVICE_URL_ENV, server.url)
+            code, out = run_cli(
+                capsys, "campaign", "--traces", "ZGREP", "--sizes", "512",
+                "--length", "4000", "--remote",
+            )
+        assert code == 0
+        assert "Remote campaign miss ratios" in out
+
+    def test_remote_without_url_fails_fast(self, capsys, monkeypatch):
+        from repro.service import SERVICE_URL_ENV
+
+        monkeypatch.delenv(SERVICE_URL_ENV, raising=False)
+        with pytest.raises(SystemExit, match="service URL"):
+            main(["campaign", "--traces", "ZGREP", "--sizes", "512",
+                  "--length", "4000", "--remote"])
+
+    def test_remote_rejects_sampling(self, capsys):
+        with pytest.raises(SystemExit, match="sampling"):
+            main(["campaign", "--traces", "ZGREP", "--sizes", "512",
+                  "--length", "4000", "--remote", "http://127.0.0.1:1",
+                  "--sampling", "0.1"])
 
     def test_unknown_trace_fails_fast(self, capsys):
         with pytest.raises(KeyError):
