@@ -17,12 +17,11 @@ scales the trace length (default 30 000; CI's smoke step uses a shorter
 setting).
 """
 
-import json
 import os
 
 import pytest
 
-from common import RESULTS_DIR
+from common import merge_json_result
 
 from repro.core import (
     CacheGeometry,
@@ -72,10 +71,13 @@ def throughput_log():
     """Collects per-path refs/sec; written to JSON when the module ends."""
     entries = {}
     yield entries
-    RESULTS_DIR.mkdir(exist_ok=True)
-    payload = {"references_per_run": REFS, "paths": entries}
-    path = RESULTS_DIR / "BENCH_core_throughput.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    # Merge-update: a partial run (``pytest -k ...``) must not clobber
+    # paths a previous full pass recorded.
+    merge_json_result(
+        "BENCH_core_throughput",
+        {"references_per_run": REFS, "paths": entries},
+        merge_keys=("paths",),
+    )
 
 
 def _record(throughput_log, name, benchmark, references):

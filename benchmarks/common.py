@@ -33,6 +33,7 @@ failures/retries) are appended to
 from __future__ import annotations
 
 import functools
+import json
 import os
 from pathlib import Path
 
@@ -64,6 +65,37 @@ def save_result(name: str, text: str) -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def merge_json_result(
+    name: str, payload: dict, *, merge_keys: tuple[str, ...] = ()
+) -> Path:
+    """Write ``benchmarks/results/{name}.json``, merging named sections.
+
+    A partial benchmark pass (``pytest -k ...``, or a module where only
+    some tests ran) records only the entries it measured.  For every
+    top-level key in ``merge_keys`` whose value is a dict, the existing
+    file's entries are kept and updated rather than replaced, so a
+    partial run never clobbers results a previous full run recorded.
+    All other top-level keys are overwritten.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    merged = dict(payload)
+    if path.exists():
+        try:
+            previous = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            previous = {}
+        for key in merge_keys:
+            old = previous.get(key)
+            new = payload.get(key)
+            if isinstance(old, dict) and isinstance(new, dict):
+                merged[key] = {**old, **new}
+    path.write_text(
+        json.dumps(merged, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
     return path
 
 

@@ -48,6 +48,18 @@ def _sizes(argument: str) -> list[int]:
     return [int(token) for token in argument.split(",")]
 
 
+def _sampling_arg(argument: str):
+    """``--sampling`` value: a fraction, or the literal ``representative``."""
+    if argument.strip().lower() == "representative":
+        return "representative"
+    try:
+        return float(argument)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a fraction in (0, 1] or 'representative', got {argument!r}"
+        ) from None
+
+
 def _add_length(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--length", type=int, default=None,
@@ -183,12 +195,18 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                    help="per-cell wall-time limit, pool mode only "
                    "(default: REPRO_CELL_TIMEOUT or none)")
-    p.add_argument("--sampling", type=float, default=None, metavar="FRACTION",
-                   help="run the campaign sampled: measure roughly this "
-                   "fraction of each trace's references and report "
-                   "estimate ± 95%% CI per cell (see docs/sampling.md)")
+    p.add_argument("--sampling", type=_sampling_arg, default=None,
+                   metavar="FRACTION|representative",
+                   help="run the campaign sampled: a fraction measures "
+                   "roughly that share of each trace's references; "
+                   "'representative' clusters fixed windows by behavior "
+                   "and replays one weighted medoid window per cluster "
+                   "(see docs/sampling.md)")
     p.add_argument("--sampling-window", type=int, default=2000,
                    help="references per sampled window (default 2000)")
+    p.add_argument("--clusters", type=int, default=8,
+                   help="behavioral clusters for --sampling representative "
+                   "(default 8)")
     p.add_argument("--sampling-mode", default="systematic",
                    choices=["systematic", "random", "stratified"],
                    help="how sampled windows are chosen")
@@ -458,16 +476,21 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     cache = False if args.no_cache else (args.cache_dir or None)
 
-    if args.remote is not None:
-        if args.sampling is not None or args.target_error is not None:
-            raise SystemExit(
-                "--sampling/--target-error are not supported with --remote "
-                "yet; run the sampled campaign locally"
-            )
-        return _run_remote_campaign(args, cells, sizes, mechanisms)
-
     plan = None
-    if args.sampling is not None or args.target_error is not None:
+    if args.sampling == "representative":
+        if args.target_error is not None:
+            raise SystemExit(
+                "--target-error calibrates interval plans; representative "
+                "sampling reports a fixed deterministic bound instead"
+            )
+        from .sampling import RepresentativeSampling
+
+        plan = RepresentativeSampling(
+            clusters=args.clusters,
+            window=args.sampling_window,
+            seed=args.sampling_seed,
+        )
+    elif args.sampling is not None or args.target_error is not None:
         from .sampling import IntervalSampling
 
         plan = IntervalSampling(
@@ -478,6 +501,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             seed=args.sampling_seed,
             target_rel_err=args.target_error,
         )
+
+    if args.remote is not None:
+        if args.target_error is not None:
+            raise SystemExit(
+                "--target-error calibration runs locally; use a fixed "
+                "--sampling fraction (or 'representative') with --remote"
+            )
+        return _run_remote_campaign(args, cells, sizes, mechanisms, plan)
 
     progress = None
     if args.verbose:
@@ -571,7 +602,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_remote_campaign(args: argparse.Namespace, cells, sizes, mechanisms) -> int:
+def _run_remote_campaign(
+    args: argparse.Namespace, cells, sizes, mechanisms, sampling=None
+) -> int:
     """Submit a campaign to a running service and tail its SSE stream."""
     import os
 
@@ -605,7 +638,9 @@ def _run_remote_campaign(args: argparse.Namespace, cells, sizes, mechanisms) -> 
                   file=sys.stderr, flush=True)
 
     try:
-        campaign_id = client.submit_cells(cells, priority=args.priority)
+        campaign_id = client.submit_cells(
+            cells, priority=args.priority, sampling=sampling
+        )
         print(f"submitted campaign {campaign_id} to {url} "
               f"({total} cells)", file=sys.stderr)
         final = client.wait(campaign_id, on_event=on_event)

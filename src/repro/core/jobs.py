@@ -65,7 +65,11 @@ __all__ = [
 #: Version 4: cell identity grew a miss-path mechanism config
 #: (:class:`MechanismStudyJob`), so pre-mechanism cached results must not
 #: be served for mechanism cells.
-CACHE_SCHEMA_VERSION = 4
+#: Version 5: sampled cell identity gained the representative-interval
+#: plan family (``plan: "representative"``), and stratified window
+#: features moved to the vectorized sweep, changing which windows a
+#: stratified plan selects for equal parameters.
+CACHE_SCHEMA_VERSION = 5
 
 _WRITE_POLICIES = {
     "copy-back": WritePolicy(WriteStrategy.COPY_BACK, allocate_on_write=True),

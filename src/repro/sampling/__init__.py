@@ -4,14 +4,19 @@ The subsystem has four layers (see ``docs/sampling.md``):
 
 * :mod:`~repro.sampling.plans` — *what to sample*:
   :class:`IntervalSampling` (systematic / seeded-random /
-  stratified-by-phase windows) and :class:`SetSampling` (a hash-selected
-  subset of cache sets, exact per kept set).
-* :mod:`~repro.sampling.engine` — *how to run it*: exact per-window
-  stack-distance passes, per-set kernel passes, or windowed direct
-  simulation, each with cold-start bias bounds.
+  stratified-by-phase windows), :class:`SetSampling` (a hash-selected
+  subset of cache sets, exact per kept set), and
+  :class:`RepresentativeSampling` (one weighted medoid window per
+  behavioral cluster, SimPoint-style).
+* :mod:`~repro.sampling.engine` / :mod:`~repro.sampling.representative`
+  — *how to run it*: exact per-window stack-distance passes, per-set
+  kernel passes, or windowed direct simulation, each with cold-start
+  bias bounds; representative plans add a memoized whole-trace windowed
+  profile that prices additional configurations at a handful of windows.
 * :mod:`~repro.sampling.estimators` — *what to report*: stratified ratio
   estimates with seeded-bootstrap confidence intervals, widened
-  deterministically by the warm-start bias bounds.
+  deterministically by the warm-start bias bounds, and weighted-medoid
+  estimates bracketed by the windowed profile.
 * :mod:`~repro.sampling.jobs` / :mod:`~repro.sampling.calibrate` —
   campaign integration (:class:`SampledJob`, ``run_campaign(...,
   sampling=plan)``) and the error-budget calibrator.
@@ -30,22 +35,42 @@ from .engine import (
     sampled_simulate,
     sampled_stack_sweep,
 )
-from .estimators import Estimate, SampledValue, SamplingInfo, ratio_estimates
+from .estimators import (
+    Estimate,
+    SampledValue,
+    SamplingInfo,
+    ratio_estimates,
+    representative_estimates,
+)
 from .jobs import SampledJob
 from .plans import (
     Interval,
     IntervalSampling,
+    RepresentativeSampling,
     SamplingPlan,
     SelectedIntervals,
     SetSampling,
+    kmeans,
     select_intervals,
     select_set_classes,
+)
+from .representative import (
+    RepresentativeSelection,
+    WindowProfile,
+    representative_associativity_sweep,
+    representative_simulate,
+    representative_stack_sweep,
+    select_representatives,
+    window_profile,
+    window_signatures,
 )
 
 __all__ = [
     "Estimate",
     "Interval",
     "IntervalSampling",
+    "RepresentativeSampling",
+    "RepresentativeSelection",
     "SampledJob",
     "SampledReport",
     "SampledStats",
@@ -54,13 +79,22 @@ __all__ = [
     "SamplingPlan",
     "SelectedIntervals",
     "SetSampling",
+    "WindowProfile",
     "calibrate",
+    "kmeans",
     "ratio_estimates",
+    "representative_associativity_sweep",
+    "representative_estimates",
+    "representative_simulate",
+    "representative_stack_sweep",
     "run_sampled",
     "sample_time_windows",
     "sampled_associativity_sweep",
     "sampled_simulate",
     "sampled_stack_sweep",
     "select_intervals",
+    "select_representatives",
     "select_set_classes",
+    "window_profile",
+    "window_signatures",
 ]

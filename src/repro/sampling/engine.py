@@ -48,7 +48,15 @@ from ..core.simulator import simulate
 from ..core.stackdist import COLD_DISTANCE, set_stack_distances
 from ..trace.stream import Trace
 from .estimators import Estimate, SampledValue, SamplingInfo, ratio_estimates
-from .plans import IntervalSampling, SamplingPlan, SelectedIntervals, SetSampling, select_intervals, select_set_classes
+from .plans import (
+    IntervalSampling,
+    RepresentativeSampling,
+    SamplingPlan,
+    SelectedIntervals,
+    SetSampling,
+    select_intervals,
+    select_set_classes,
+)
 
 __all__ = [
     "SampledStats",
@@ -109,14 +117,19 @@ def _purge_resets(positions: np.ndarray, purge_interval: int | None) -> np.ndarr
 
 
 def sampled_stack_sweep(
-    trace: Trace, job: StackSweepJob, plan: IntervalSampling
+    trace: Trace, job: StackSweepJob, plan: IntervalSampling | RepresentativeSampling
 ) -> SampledValue:
     """Estimate a :class:`StackSweepJob`'s miss-ratio curve from samples.
 
     Returns a :class:`SampledValue` whose payload is the point-estimate
     tuple (same shape as the full job's) and whose info carries one
-    :class:`Estimate` per capacity.
+    :class:`Estimate` per capacity.  A :class:`RepresentativeSampling`
+    plan delegates to the weighted-medoid engine.
     """
+    if isinstance(plan, RepresentativeSampling):
+        from .representative import representative_stack_sweep
+
+        return representative_stack_sweep(trace, job, plan)
     capacities = np.asarray(job.sizes, dtype=np.int64)
     if len(capacities) and (
         (capacities <= 0).any() or (capacities % job.line_size != 0).any()
@@ -312,6 +325,10 @@ def sampled_associativity_sweep(
     """
     if isinstance(plan, SetSampling):
         return _set_sampled_surface(trace, job, plan)
+    if isinstance(plan, RepresentativeSampling):
+        from .representative import representative_associativity_sweep
+
+        return representative_associativity_sweep(trace, job, plan)
     if plan.warmup == "stitch":
         raise ValueError(
             "stitch warmup is not supported for associativity sweeps "
@@ -498,7 +515,7 @@ class SampledReport:
 
 
 def sampled_simulate(
-    trace: Trace, job: SimulateJob, plan: IntervalSampling
+    trace: Trace, job: SimulateJob, plan: IntervalSampling | RepresentativeSampling
 ) -> SampledValue:
     """Estimate a :class:`SimulateJob`'s report from sampled windows.
 
@@ -515,6 +532,10 @@ def sampled_simulate(
             warmup instead) or a limit shorter than the trace is combined
             with stitch mode.
     """
+    if isinstance(plan, RepresentativeSampling):
+        from .representative import representative_simulate
+
+        return representative_simulate(trace, job, plan)
     if job.warmup:
         raise ValueError(
             "sampled SimulateJob cells must not set job.warmup; "
@@ -706,7 +727,9 @@ def run_sampled(trace: Trace, job, plan: SamplingPlan) -> SampledValue:
     already sampled.  The returned info reports the rounds taken, the
     cumulative replayed references, and whether the budget was met.
     """
-    if isinstance(plan, SetSampling) or plan.target_rel_err is None:
+    if getattr(plan, "target_rel_err", None) is None:
+        # Set and representative plans have no fraction to grow; interval
+        # plans without a budget run exactly once.
         return _run_once(trace, job, plan)
 
     current = plan

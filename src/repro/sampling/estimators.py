@@ -31,7 +31,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Estimate", "SamplingInfo", "SampledValue", "ratio_estimates"]
+__all__ = [
+    "Estimate",
+    "SamplingInfo",
+    "SampledValue",
+    "ratio_estimates",
+    "representative_estimates",
+]
 
 #: Two-sided 97.5% Student-t quantiles by degrees of freedom; the
 #: bootstrap interval is widened by ``t / 1.96`` to correct percentile
@@ -262,6 +268,111 @@ def ratio_estimates(
     low = np.minimum(low, values)
     high = np.maximum(high, values)
 
+    return [
+        Estimate(float(v), float(lo), float(hi), confidence)
+        for v, lo, hi in zip(values, low, high)
+    ]
+
+
+def representative_estimates(
+    medoid_numerators: np.ndarray,
+    medoid_denominators: np.ndarray,
+    weights: np.ndarray,
+    *,
+    proxy_numerators: np.ndarray | None = None,
+    proxy_denominators: np.ndarray | None = None,
+    labels: np.ndarray | None = None,
+    bias_up: np.ndarray | float = 0.0,
+    confidence: float = 0.95,
+    clip: tuple[float | None, float | None] = (0.0, 1.0),
+) -> list[Estimate]:
+    """Weighted-medoid estimates with a deterministic proxy bracket.
+
+    The point estimate is the population-weighted ratio of the medoid
+    windows' totals, ``sum(w_c num_c) / sum(w_c den_c)`` — the SimPoint
+    estimator with cluster sizes as weights.  Its interval is the union
+    of two deterministic bounds (no bootstrap — a medoid per cluster
+    offers no resampling distribution):
+
+    * **Proxy bracket.**  The caller's windowed profile yields, for
+      *every* candidate window, prefix-warmed totals that can only
+      overcount the truth, by at most ``bias_up`` in numerator units.
+      The full-profile proxy ratio therefore brackets the truth in
+      ``[proxy - bias_up / total_proxy_den, proxy]`` (rigorous for LRU
+      demand misses; a heuristic otherwise), and the interval is the
+      convex hull of the medoid estimate and this bracket.
+    * **Within-cluster spread.**  The per-window proxy ratios measure
+      how behaviorally tight each cluster is; the hull is widened by
+      ``sqrt(sum(share_c^2 var_c))`` — the error a medoid displaced
+      from its cluster mean could contribute.
+
+    Args:
+        medoid_numerators: shape ``(clusters, metrics)`` (or 1-D for a
+            single metric) — the medoid windows' measured totals.
+        medoid_denominators: shape ``(clusters,)``.
+        weights: cluster populations, aligned with the medoids.
+        proxy_numerators / proxy_denominators: per-candidate-window
+            prefix-warmed totals (``(windows, metrics)`` / ``(windows,)``);
+            omit both to degenerate to the point estimate.
+        labels: cluster index per candidate window (for the spread term).
+        bias_up: per-metric overcount bound on the proxy totals.
+        confidence: nominal confidence recorded on the estimates.
+        clip: final (low, high) clamp for the interval edges.
+
+    Returns:
+        One :class:`Estimate` per metric column; NaN when the weighted
+        denominator is zero (an unobserved ratio is unknown, not zero).
+    """
+    medoid_numerators = np.asarray(medoid_numerators, dtype=float)
+    if medoid_numerators.ndim == 1:
+        medoid_numerators = medoid_numerators[:, None]
+    clusters, metrics = medoid_numerators.shape
+    medoid_denominators = np.asarray(medoid_denominators, dtype=float).reshape(clusters)
+    weights = np.asarray(weights, dtype=float).reshape(clusters)
+    total_den = float((weights * medoid_denominators).sum())
+    if total_den <= 0:
+        nan = float("nan")
+        return [Estimate(nan, nan, nan, confidence)] * metrics
+    values = (weights[:, None] * medoid_numerators).sum(axis=0) / total_den
+
+    low = values.copy()
+    high = values.copy()
+    if proxy_numerators is not None and proxy_denominators is not None:
+        proxy_numerators = np.asarray(proxy_numerators, dtype=float)
+        if proxy_numerators.ndim == 1:
+            proxy_numerators = proxy_numerators[:, None]
+        windows = len(proxy_numerators)
+        proxy_denominators = np.asarray(proxy_denominators, dtype=float).reshape(windows)
+        proxy_den = float(proxy_denominators.sum())
+        if proxy_den > 0:
+            proxy = proxy_numerators.sum(axis=0) / proxy_den
+            up = np.broadcast_to(np.asarray(bias_up, dtype=float), (metrics,))
+            low = np.minimum(values, proxy - up / proxy_den)
+            high = np.maximum(values, proxy)
+            if labels is not None and windows > 1:
+                labels = np.asarray(labels, dtype=np.int64).reshape(windows)
+                observed = proxy_denominators > 0
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    ratios = proxy_numerators / np.maximum(
+                        proxy_denominators[:, None], 1e-300
+                    )
+                shares = weights / weights.sum()
+                spread_sq = np.zeros(metrics)
+                for cluster in range(clusters):
+                    members = ratios[(labels == cluster) & observed]
+                    if len(members) > 1:
+                        spread_sq += shares[cluster] ** 2 * members.var(axis=0)
+                spread = np.sqrt(spread_sq)
+                low = low - spread
+                high = high + spread
+
+    lo_clip, hi_clip = clip
+    if lo_clip is not None:
+        low = np.maximum(low, lo_clip)
+    if hi_clip is not None:
+        high = np.minimum(high, hi_clip)
+    low = np.minimum(low, values)
+    high = np.maximum(high, values)
     return [
         Estimate(float(v), float(lo), float(hi), confidence)
         for v, lo, hi in zip(values, low, high)

@@ -17,7 +17,12 @@ shrinking a trace-driven cache study:
   sets of every geometry with at least ``2**bits`` sets, and the kept
   sets' reference streams are exact — no warmup bias at all.
 
-Both plans are frozen, picklable, and expose :meth:`identity` so a sampled
+A third plan, :class:`RepresentativeSampling`, pushes the stratified idea
+to its SimPoint-style conclusion: cluster *all* candidate windows by a
+behavioral signature and simulate only the medoid window of each cluster,
+weighted by cluster population (see :mod:`repro.sampling.representative`).
+
+All plans are frozen, picklable, and expose :meth:`identity` so a sampled
 campaign cell keys the result cache on the plan as well as the work.
 All randomness is drawn from ``numpy`` generators seeded by the plan, so a
 sampled campaign is bit-identical across runs and worker counts.
@@ -35,11 +40,14 @@ from ..trace.stream import Trace
 __all__ = [
     "Interval",
     "IntervalSampling",
+    "RepresentativeSampling",
     "SetSampling",
     "SamplingPlan",
     "SelectedIntervals",
+    "kmeans",
     "select_intervals",
     "select_set_classes",
+    "window_mix_features",
 ]
 
 #: Interval-selection modes.
@@ -226,7 +234,63 @@ class SetSampling:
         }
 
 
-SamplingPlan = Union[IntervalSampling, SetSampling]
+@dataclass(frozen=True)
+class RepresentativeSampling:
+    """A representative-interval plan (SimPoint-style, per Bueno et al.).
+
+    Instead of *sampling* windows from every stratum, cluster all candidate
+    windows by a behavioral signature — reference mix, branch fraction,
+    within-window footprint, footprint growth, and a log-bucketed
+    stack-distance sketch — and simulate only the **medoid** window of each
+    cluster, weighting its contribution by the cluster population.  The
+    one-time signature pass per trace is amortized across every cache
+    configuration simulated against that trace; the marginal cost of one
+    more configuration is a handful of windows.
+
+    See :mod:`repro.sampling.representative` for the machinery and
+    :func:`repro.sampling.estimators.representative_estimates` for the
+    error-bound semantics.
+
+    Attributes:
+        clusters: behavioral clusters, i.e. representative windows
+            simulated (fewer when the trace offers fewer candidates).
+        window: references per candidate window.
+        seed: k-means seeding — the only randomness; selection is
+            bit-identical across runs and worker counts.
+        confidence: nominal confidence carried into the reported
+            estimates.
+        iterations: Lloyd iterations for the signature clustering.
+    """
+
+    clusters: int = 8
+    window: int = 2000
+    seed: int = 0
+    confidence: float = 0.95
+    iterations: int = 25
+
+    def __post_init__(self) -> None:
+        if self.clusters <= 0:
+            raise ValueError(f"clusters must be positive, got {self.clusters}")
+        if self.window <= 0:
+            raise ValueError(f"window must be positive, got {self.window}")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError(f"confidence must be in (0, 1), got {self.confidence}")
+        if self.iterations <= 0:
+            raise ValueError(f"iterations must be positive, got {self.iterations}")
+
+    def identity(self) -> dict:
+        """JSON-able identity (enters the campaign cache key)."""
+        return {
+            "plan": "representative",
+            "clusters": self.clusters,
+            "window": self.window,
+            "seed": self.seed,
+            "confidence": self.confidence,
+            "iterations": self.iterations,
+        }
+
+
+SamplingPlan = Union[IntervalSampling, SetSampling, RepresentativeSampling]
 
 
 @dataclass(frozen=True)
@@ -264,50 +328,124 @@ def select_set_classes(plan: SetSampling) -> tuple[int, ...]:
     return tuple(sorted(int(c) for c in chosen))
 
 
-def _window_features(trace: Trace, starts: np.ndarray, window: int) -> np.ndarray:
-    """Standardized reference-mix features, one row per candidate window.
-
-    Features come from :func:`repro.trace.characteristics.characterize`:
-    the kind fractions, the branch fraction, and the footprint per
-    reference — the observable "phase" signature of a window.
-    """
-    from ..trace.characteristics import characterize
-
-    rows = []
-    for start in starts.tolist():
-        piece = characterize(trace[start : start + window])
-        rows.append(
-            (
-                piece.fraction_ifetch,
-                piece.fraction_read,
-                piece.fraction_write,
-                piece.branch_fraction,
-                piece.address_space_bytes / max(1, piece.length),
-            )
-        )
-    features = np.asarray(rows, dtype=float)
+def _standardize(features: np.ndarray) -> np.ndarray:
+    """Center and scale feature columns; constant columns stay zero."""
     center = features - features.mean(axis=0)
     scale = features.std(axis=0)
     scale[scale == 0] = 1.0
     return center / scale
 
 
-def _kmeans_labels(
+def window_mix_features(trace: Trace, candidates: int, window: int) -> np.ndarray:
+    """Raw reference-mix features, one row per candidate window.
+
+    The same observable "phase" signature as
+    :func:`repro.trace.characteristics.characterize` — kind fractions,
+    branch fraction, and footprint bytes per reference — but computed for
+    all windows in one vectorized sweep instead of per-window slicing
+    (the slice-and-characterize loop dominated stratified selection on
+    long traces).  Columns: ifetch, read, write fractions; branch
+    fraction; footprint bytes per reference.
+    """
+    from ..trace.characteristics import BRANCH_WINDOW_BYTES, FOOTPRINT_LINE_SIZE
+    from ..trace.record import AccessKind
+
+    limit = min(len(trace), candidates * window)
+    kinds = trace.kinds[:limit]
+    win = np.arange(limit, dtype=np.int64) // window
+    lengths = np.bincount(win, minlength=candidates).astype(float)
+    lengths[lengths == 0] = 1.0
+
+    mix = np.zeros((candidates, 3), dtype=float)
+    for column, kind in enumerate((AccessKind.IFETCH, AccessKind.READ, AccessKind.WRITE)):
+        mix[:, column] = np.bincount(win[kinds == int(kind)], minlength=candidates)
+    mix /= lengths[:, None]
+
+    # Branch heuristic over consecutive same-window ifetch pairs — exactly
+    # the pairs a per-window slice would see.
+    ifetch = np.nonzero(kinds == int(AccessKind.IFETCH))[0]
+    branch = np.zeros(candidates, dtype=float)
+    if len(ifetch) >= 2:
+        first = win[ifetch[:-1]]
+        same = first == win[ifetch[1:]]
+        delta = np.diff(trace.addresses[:limit][ifetch])
+        taken = same & ((delta < 0) | (delta > BRANCH_WINDOW_BYTES))
+        pairs = np.bincount(first[same], minlength=candidates).astype(float)
+        counts = np.bincount(first[taken], minlength=candidates).astype(float)
+        branch = np.divide(
+            counts, pairs, out=np.zeros(candidates, dtype=float), where=pairs > 0
+        )
+
+    # Footprint bytes per reference: distinct (line, code/data/fetch) pairs
+    # per window over the compiled line stream, matching how
+    # ``characterize`` counts instruction and data lines separately.
+    compiled = trace.compiled(FOOTPRINT_LINE_SIZE)
+    inside = compiled.positions < limit
+    line_win = compiled.positions[inside] // window
+    line_kind = compiled.kinds[inside]
+    group = np.where(
+        line_kind == int(AccessKind.IFETCH),
+        0,
+        np.where(line_kind == int(AccessKind.FETCH), 2, 1),
+    )
+    key = compiled.lines[inside] * 3 + group
+    order = np.lexsort((key, line_win))
+    sorted_win = line_win[order]
+    sorted_key = key[order]
+    fresh = np.ones(len(sorted_key), dtype=bool)
+    fresh[1:] = (sorted_key[1:] != sorted_key[:-1]) | (sorted_win[1:] != sorted_win[:-1])
+    footprint = np.bincount(sorted_win[fresh], minlength=candidates).astype(float)
+    density = footprint * FOOTPRINT_LINE_SIZE / lengths
+
+    return np.column_stack([mix, branch, density])
+
+
+def _window_features(trace: Trace, starts: np.ndarray, window: int) -> np.ndarray:
+    """Standardized reference-mix features, one row per candidate window."""
+    return _standardize(window_mix_features(trace, len(starts), window))
+
+
+def kmeans(
     features: np.ndarray, clusters: int, rng: np.random.Generator, iterations: int = 10
-) -> np.ndarray:
-    """Seeded Lloyd iterations; deterministic for a given generator state."""
+) -> tuple[np.ndarray, np.ndarray]:
+    """Seeded Lloyd iterations returning ``(labels, centers)``.
+
+    Deterministic for a given generator state: ties in the assignment step
+    break toward the lower cluster index, and all randomness comes from
+    ``rng``.  A cluster left empty by an assignment step is reseeded with
+    the point currently farthest from its assigned center (the point is
+    *moved*, not copied), so duplicate-heavy inputs still spread across
+    clusters instead of collapsing onto one center.  ``clusters`` is
+    clamped to the number of points.
+    """
+    features = np.asarray(features, dtype=float)
     n = len(features)
-    clusters = min(clusters, n)
+    if n == 0:
+        return np.empty(0, dtype=np.int64), features.copy()
+    clusters = max(1, min(clusters, n))
     centers = features[rng.choice(n, size=clusters, replace=False)].copy()
     labels = np.zeros(n, dtype=np.int64)
     for _ in range(iterations):
         squared = ((features[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
         labels = squared.argmin(axis=1)
+        nearest = squared[np.arange(n), labels]
         for c in range(clusters):
             members = labels == c
             if members.any():
                 centers[c] = features[members].mean(axis=0)
-    return labels
+            else:
+                farthest = int(np.argmax(nearest))
+                centers[c] = features[farthest]
+                labels[farthest] = c
+                nearest[farthest] = 0.0
+    return labels, centers
+
+
+def _kmeans_labels(
+    features: np.ndarray, clusters: int, rng: np.random.Generator, iterations: int = 10
+) -> np.ndarray:
+    """Seeded Lloyd labels; deterministic for a given generator state."""
+    return kmeans(features, clusters, rng, iterations)[0]
 
 
 def _allocate(sizes: np.ndarray, total: int) -> np.ndarray:

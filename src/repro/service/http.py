@@ -5,11 +5,17 @@ web framework, three endpoints:
 
 * ``POST /campaigns`` — submit a campaign spec
   (:func:`repro.service.spec.decode_cells` document, plus optional
-  ``user`` and ``priority`` top-level fields).  Replies ``202`` with the
+  ``user``, ``priority`` and ``sampling`` top-level fields; a sampling
+  document wraps every cell's job in a
+  :class:`~repro.sampling.jobs.SampledJob`).  Replies ``202`` with the
   campaign id, ``400`` on a malformed spec, ``429`` when the user is
   over quota.
 * ``GET /campaigns/{id}`` — status counts, and the merged results
   array once the campaign is done.  ``404`` for unknown ids.
+* ``DELETE /campaigns/{id}`` — cancel a queued or running campaign.
+  Replies ``200`` with ``{"cancelled": true}`` when the cancellation was
+  initiated, ``{"cancelled": false, "status": ...}`` when the campaign
+  had already reached a terminal state, ``404`` for unknown ids.
 * ``GET /campaigns/{id}/events`` — the campaign's JSONL event log as
   Server-Sent Events: one ``data: {json}`` frame per event, full replay
   from the first event, then live until ``campaign_finished`` closes the
@@ -36,7 +42,7 @@ import threading
 
 from .queue import QuotaExceeded
 from .scheduler import Scheduler
-from .spec import SpecError, decode_cells
+from .spec import SpecError, decode_cells, decode_sampling
 
 __all__ = ["ServiceServer", "BackgroundServer", "serve"]
 
@@ -189,8 +195,21 @@ class ServiceServer:
                     writer, 404, {"error": f"unknown campaign {campaign_id!r}"}
                 )
                 return
+            if method == "DELETE" and tail == "status":
+                if state.done:
+                    await self._respond(
+                        writer, 200, {"id": state.id, "cancelled": False,
+                                      "status": state.status}
+                    )
+                else:
+                    self.scheduler.cancel(state.id)
+                    await self._respond(
+                        writer, 200, {"id": state.id, "cancelled": True,
+                                      "status": state.status}
+                    )
+                return
             if method != "GET":
-                await self._respond(writer, 405, {"error": "use GET"})
+                await self._respond(writer, 405, {"error": "use GET or DELETE"})
                 return
             if tail == "events":
                 await self._stream_events(state, writer)
@@ -205,6 +224,11 @@ class ServiceServer:
             if not isinstance(document, dict):
                 raise SpecError("campaign spec must be a JSON object")
             cells = decode_cells(document)
+            if document.get("sampling") is not None:
+                from ..campaign import _wrap_sampled
+
+                plan = decode_sampling(document["sampling"])
+                cells = _wrap_sampled(cells, plan)
         except SpecError as exc:
             await self._respond(writer, 400, {"error": str(exc)})
             return

@@ -51,7 +51,7 @@ from ..campaign import EventLog, ResultCache, _MISS
 from ..core.jobs import CampaignCell, CellError, CellResult, cell_key
 from .backends import BackendCrash, CellExecutionError
 from .queue import FairShareQueue, QueueEntry, QuotaExceeded
-from .spec import summarize_value
+from .spec import summarize_sampling, summarize_value
 
 __all__ = [
     "QUOTA_ENV",
@@ -78,7 +78,8 @@ DEFAULT_POLL = 0.05
 
 #: Campaign lifecycle statuses.
 QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
-_TERMINAL = frozenset({DONE, FAILED})
+CANCELLED = "cancelled"
+_TERMINAL = frozenset({DONE, FAILED, CANCELLED})
 
 
 def _env_number(name: str, default: float) -> float:
@@ -152,6 +153,7 @@ class CampaignState:
     finished_at: float | None = None
     outcomes: list[dict | None] = field(default_factory=list)
     events: list[dict] = field(default_factory=list)
+    cancel_requested: bool = False
 
     def __post_init__(self) -> None:
         if not self.outcomes:
@@ -261,6 +263,7 @@ class Scheduler:
         self._event_signal = asyncio.Event()
         self._loop_task: asyncio.Task | None = None
         self._campaign_tasks: set[asyncio.Task] = set()
+        self._running_tasks: dict[str, asyncio.Task] = {}
         self._active = 0
         self._seq = itertools.count(1)
         self.started_at = time.time()
@@ -332,6 +335,39 @@ class Scheduler:
     def get(self, campaign_id: str) -> CampaignState | None:
         return self.campaigns.get(campaign_id)
 
+    def cancel(self, campaign_id: str) -> bool:
+        """Cancel a queued or running campaign; False if already terminal.
+
+        Queued campaigns are pulled out of the fair-share queue and
+        finalized on the spot; running ones have their task cancelled and
+        the ``CancelledError`` path finalizes them as ``cancelled``
+        (rather than ``failed``) because ``cancel_requested`` is set.
+        Returns ``True`` when this call initiated a cancellation.
+        """
+        state = self.campaigns.get(campaign_id)
+        if state is None:
+            raise KeyError(campaign_id)
+        if state.done:
+            return False
+        state.cancel_requested = True
+        self._emit(state, "campaign_cancelled", status=state.status,
+                   user=state.user)
+        if state.status == QUEUED:
+            if self.queue.cancel(campaign_id):
+                state.status = CANCELLED
+                state.finished_at = time.time()
+                self._emit(state, "campaign_finished", status=CANCELLED,
+                           **state.counts())
+                self._wakeup.set()
+            # else: popped from the queue but its task has not started
+            # yet — ``cancel_requested`` makes ``_run_campaign`` finalize
+            # it (with the queue/slot bookkeeping) on its first tick.
+            return True
+        task = self._running_tasks.get(campaign_id)
+        if task is not None:
+            task.cancel()
+        return True
+
     def describe(self) -> dict:
         """Service-level status (the ``/healthz`` document)."""
         return {
@@ -389,9 +425,24 @@ class Scheduler:
                 self._active += 1
                 task = asyncio.create_task(self._run_campaign(state))
                 self._campaign_tasks.add(task)
+                self._running_tasks[state.id] = task
                 task.add_done_callback(self._campaign_tasks.discard)
+                task.add_done_callback(
+                    lambda _t, cid=state.id: self._running_tasks.pop(cid, None)
+                )
 
     async def _run_campaign(self, state: CampaignState) -> None:
+        if state.cancel_requested:
+            # Cancelled in the gap between the queue pop and this task
+            # starting: finalize without running a single cell.
+            state.status = CANCELLED
+            state.finished_at = time.time()
+            self._emit(state, "campaign_finished", status=CANCELLED,
+                       **state.counts())
+            self.queue.finished(state.entry)
+            self._active -= 1
+            self._wakeup.set()
+            return
         state.status = RUNNING
         state.started_at = time.time()
         self._emit(
@@ -409,9 +460,10 @@ class Scheduler:
                 )
             )
         except asyncio.CancelledError:
-            state.status = FAILED
+            status = CANCELLED if state.cancel_requested else FAILED
+            state.status = status
             state.finished_at = time.time()
-            self._emit(state, "campaign_finished", status=FAILED,
+            self._emit(state, "campaign_finished", status=status,
                        **state.counts())
             raise
         except Exception as exc:  # defensive: a bug must not hang clients
@@ -481,6 +533,7 @@ class Scheduler:
             "references": result.references,
             "wall_seconds": result.wall_seconds if source == "run" else 0.0,
             "value": summarize_value(result.value),
+            **summarize_sampling(result.sampling),
         }
         self._emit(
             state,
@@ -492,6 +545,7 @@ class Scheduler:
             source=source,
             wall_seconds=result.wall_seconds if source == "run" else 0.0,
             references=result.references,
+            **summarize_sampling(result.sampling),
             refs_per_second=(
                 result.references / result.wall_seconds
                 if source == "run" and result.wall_seconds > 0

@@ -7,9 +7,11 @@ from repro.sampling import (
     Interval,
     IntervalSampling,
     SetSampling,
+    kmeans,
     select_intervals,
     select_set_classes,
 )
+from repro.sampling.plans import _kmeans_labels
 from repro.workloads import catalog
 
 
@@ -153,3 +155,81 @@ class TestSelectIntervals:
         selection = select_intervals(plan, 1000)
         for interval in selection.intervals:
             assert 0 <= interval.start < interval.stop <= 1000
+
+
+class TestKmeans:
+    """Edge cases of the shared seeded Lloyd clustering."""
+
+    def test_deterministic_for_a_seed(self):
+        rng = np.random.default_rng(7)
+        features = np.random.default_rng(0).normal(size=(40, 3))
+        labels, centers = kmeans(features, 5, np.random.default_rng(7))
+        again, centers_again = kmeans(features, 5, np.random.default_rng(7))
+        assert (labels == again).all()
+        assert np.array_equal(centers, centers_again)
+        other, _ = kmeans(features, 5, np.random.default_rng(8))
+        assert labels.shape == other.shape
+
+    def test_no_points_yields_no_labels(self):
+        labels, centers = kmeans(np.empty((0, 4)), 3, np.random.default_rng(0))
+        assert labels.shape == (0,)
+        assert centers.shape == (0, 4)
+
+    def test_clusters_clamped_to_point_count(self):
+        features = np.arange(6, dtype=float).reshape(3, 2)
+        labels, centers = kmeans(features, 10, np.random.default_rng(0))
+        assert len(labels) == 3
+        assert len(centers) == 3
+        assert sorted(set(labels.tolist())) == [0, 1, 2]
+
+    def test_duplicate_points_stay_in_one_cluster(self):
+        features = np.array([[0.0, 0.0]] * 8 + [[10.0, 10.0]] * 8)
+        labels, _ = kmeans(features, 2, np.random.default_rng(1))
+        assert len(set(labels[:8].tolist())) == 1
+        assert len(set(labels[8:].tolist())) == 1
+        assert labels[0] != labels[8]
+
+    def test_empty_cluster_is_reseeded(self):
+        # Three tight groups but one far outlier: with enough clusters a
+        # center drawn between groups goes empty mid-iteration and must
+        # be reseeded onto the farthest point, not silently dropped.
+        rng = np.random.default_rng(2)
+        groups = [rng.normal(loc, 0.01, size=(20, 2)) for loc in (0.0, 5.0, 10.0)]
+        features = np.vstack(groups + [np.array([[100.0, 100.0]])])
+        labels, centers = kmeans(features, 4, np.random.default_rng(1), iterations=25)
+        assert len(centers) == 4
+        # Reseeding keeps every cluster populated...
+        assert len(set(labels.tolist())) == 4
+        # ...and this seeding isolates the outlier in its own cluster.
+        outlier_label = labels[-1]
+        assert (labels == outlier_label).sum() == 1
+
+    def test_labels_wrapper_matches(self):
+        features = np.random.default_rng(4).normal(size=(30, 2))
+        rng_a, rng_b = np.random.default_rng(5), np.random.default_rng(5)
+        labels_only = _kmeans_labels(features, 4, rng_a)
+        labels, _ = kmeans(features, 4, rng_b)
+        assert (labels_only == labels).all()
+
+
+class TestStratifiedEdgeCases:
+    def test_more_strata_than_windows_degenerates_gracefully(self):
+        trace = catalog.generate("ZGREP", 2_500)
+        plan = IntervalSampling(
+            fraction=0.9, max_fraction=1.0, window=1000,
+            mode="stratified", strata=16, seed=0,
+        )
+        selection = select_intervals(plan, len(trace), trace)
+        assert 1 <= len(selection.intervals) <= 2
+        for interval in selection.intervals:
+            assert 0 <= interval.start < interval.stop <= len(trace)
+
+    def test_stratified_is_deterministic_per_seed(self):
+        trace = catalog.generate("FGO1", 12_000)
+        plan = IntervalSampling(
+            fraction=0.4, window=500, mode="stratified", strata=4, seed=9
+        )
+        first = select_intervals(plan, len(trace), trace)
+        again = select_intervals(plan, len(trace), trace)
+        assert first.intervals == again.intervals
+        assert np.array_equal(first.expansion, again.expansion)

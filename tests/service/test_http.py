@@ -153,7 +153,7 @@ class TestErrors:
             client.wait(campaign_id)
             connection = HTTPConnection("127.0.0.1", server.port, timeout=30)
             try:
-                connection.request("DELETE", f"/campaigns/{campaign_id}")
+                connection.request("PUT", f"/campaigns/{campaign_id}")
                 assert connection.getresponse().status == 405
             finally:
                 connection.close()
@@ -179,3 +179,73 @@ class TestErrors:
             assert final["status"] == "done"
             assert final["failed"] == 2
             assert all(r["error"] == "BackendCrash" for r in final["results"])
+
+
+class TestCancellation:
+    def test_delete_unknown_campaign_maps_to_404(self, tmp_path):
+        with make_server(tmp_path) as server:
+            client = ServiceClient(server.url)
+            with pytest.raises(ServiceError) as excinfo:
+                client.cancel("c999999-deadbeef")
+            assert excinfo.value.status == 404
+
+    def test_delete_cancels_a_running_campaign(self, tmp_path):
+        with make_server(tmp_path, runner=slow_fake_run) as server:
+            client = ServiceClient(server.url, user="alice")
+            campaign_id = client.submit_cells(make_cells(4))
+            reply = client.cancel(campaign_id)
+            assert reply["cancelled"] is True
+            final = client.wait(campaign_id)
+            assert final["status"] == "cancelled"
+            events = list(client.events(campaign_id))
+            kinds = [e["event"] for e in events]
+            assert "campaign_cancelled" in kinds
+            assert events[-1]["event"] == "campaign_finished"
+            assert events[-1]["status"] == "cancelled"
+
+    def test_delete_after_done_reports_not_cancelled(self, tmp_path):
+        with make_server(tmp_path) as server:
+            client = ServiceClient(server.url, user="alice")
+            campaign_id = client.submit_cells(make_cells(1))
+            client.wait(campaign_id)
+            reply = client.cancel(campaign_id)
+            assert reply["cancelled"] is False
+            assert reply["status"] == "done"
+
+
+class TestSampledCampaigns:
+    def test_sampled_submission_round_trips_estimates(self, tmp_path):
+        from repro.sampling import RepresentativeSampling
+
+        scheduler = Scheduler(InlineBackend(capacity=2), cache=tmp_path / "cache")
+        with BackgroundServer(scheduler) as server:
+            client = ServiceClient(server.url, user="alice")
+            plan = RepresentativeSampling(clusters=3, window=500, seed=0)
+            final = client.run(make_cells(2), sampling=plan)
+            assert final["status"] == "done"
+            for outcome in final["results"]:
+                assert outcome["ok"]
+                block = outcome["sampling"]
+                assert block["unit"] == "representative"
+                assert block["plan"]["plan"] == "representative"
+                for estimate in block["estimates"]:
+                    low, high = estimate["ci"]
+                    assert low <= estimate["value"] <= high
+
+    def test_malformed_sampling_spec_maps_to_400(self, tmp_path):
+        with make_server(tmp_path) as server:
+            client = ServiceClient(server.url)
+            document = {
+                "cells": [
+                    {
+                        "label": "c",
+                        "trace": {"kind": "catalog", "name": "ZGREP",
+                                  "length": LENGTH},
+                        "job": {"type": "simulate", "size": 1024},
+                    }
+                ],
+                "sampling": {"plan": "clairvoyant"},
+            }
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(document)
+            assert excinfo.value.status == 400

@@ -284,3 +284,96 @@ async def run_to_done_state(scheduler, state):
     async for _ in scheduler.stream_events(state):
         pass
     return state
+
+
+class TestCancellation:
+    def test_cancel_queued_campaign(self, tmp_path):
+        async def body():
+            scheduler = Scheduler(
+                InlineBackend(capacity=1, runner=slow_fake_run),
+                cache=tmp_path / "cache",
+                max_active=1,
+            )
+            await scheduler.start()
+            try:
+                running = scheduler.submit(make_cells(2))
+                await asyncio.sleep(0.05)
+                queued = scheduler.submit(make_cells(1, offset=10))
+                assert queued.status == "queued"
+                assert scheduler.cancel(queued.id) is True
+                async for _ in scheduler.stream_events(queued):
+                    pass
+                async for _ in scheduler.stream_events(running):
+                    pass
+            finally:
+                await scheduler.close()
+            return running, queued
+
+        running, queued = asyncio.run(body())
+        assert queued.status == "cancelled"
+        kinds = [e["event"] for e in queued.events]
+        assert "campaign_cancelled" in kinds
+        assert kinds[-1] == "campaign_finished"
+        assert queued.events[-1]["status"] == "cancelled"
+        # The other campaign was untouched and the queue kept draining.
+        assert running.status == "done"
+
+    def test_cancel_running_campaign(self, tmp_path):
+        async def body():
+            scheduler = Scheduler(
+                InlineBackend(capacity=1, runner=slow_fake_run),
+                cache=tmp_path / "cache",
+            )
+            await scheduler.start()
+            try:
+                state = scheduler.submit(make_cells(3))
+                while state.status != "running":
+                    await asyncio.sleep(0.01)
+                assert scheduler.cancel(state.id) is True
+                async for _ in scheduler.stream_events(state):
+                    pass
+                # The scheduler still runs later campaigns to completion.
+                follow_up = await run_to_done(scheduler, make_cells(1, offset=20))
+            finally:
+                await scheduler.close()
+            return state, follow_up
+
+        state, follow_up = asyncio.run(body())
+        assert state.status == "cancelled"
+        kinds = [e["event"] for e in state.events]
+        assert "campaign_cancelled" in kinds
+        assert state.events[-1]["status"] == "cancelled"
+        assert follow_up.status == "done"
+
+    def test_cancel_unknown_campaign_raises(self, tmp_path):
+        async def body():
+            scheduler = Scheduler(
+                InlineBackend(capacity=1, runner=fake_run),
+                cache=tmp_path / "cache",
+            )
+            await scheduler.start()
+            try:
+                with pytest.raises(KeyError):
+                    scheduler.cancel("c999999-deadbeef")
+            finally:
+                await scheduler.close()
+
+        asyncio.run(body())
+
+    def test_cancel_terminal_campaign_is_a_no_op(self, tmp_path):
+        async def body():
+            scheduler = Scheduler(
+                InlineBackend(capacity=2, runner=fake_run),
+                cache=tmp_path / "cache",
+            )
+            await scheduler.start()
+            try:
+                state = await run_to_done(scheduler, make_cells(1))
+                assert scheduler.cancel(state.id) is False
+            finally:
+                await scheduler.close()
+            return state
+
+        state = asyncio.run(body())
+        assert state.status == "done"
+        assert all(e["event"] != "campaign_cancelled" for e in state.events)

@@ -15,10 +15,19 @@ from repro.core.jobs import (
     run_cell,
 )
 from repro.core.misspath import MechanismConfig
+from repro.sampling import (
+    IntervalSampling,
+    RepresentativeSampling,
+    SetSampling,
+    run_sampled,
+)
 from repro.service.spec import (
     SpecError,
     decode_cells,
+    decode_sampling,
     encode_cells,
+    encode_sampling,
+    summarize_sampling,
     summarize_value,
 )
 
@@ -158,3 +167,53 @@ class TestSummaries:
     def test_nan_becomes_null(self):
         summary = summarize_value((math.nan, 0.5))
         assert summary["curve"] == [None, 0.5]
+
+
+class TestSamplingSpec:
+    """Sampling plans must round-trip the wire with identity intact."""
+
+    PLANS = [
+        IntervalSampling(fraction=0.2, window=750, mode="random", seed=3),
+        IntervalSampling(target_rel_err=0.05),
+        SetSampling(bits=4, keep=3, seed=1),
+        RepresentativeSampling(clusters=6, window=1500, seed=2),
+    ]
+
+    @pytest.mark.parametrize("plan", PLANS, ids=lambda p: p.identity()["plan"])
+    def test_plan_survives_the_wire(self, plan):
+        assert decode_sampling(encode_sampling(plan)) == plan
+
+    def test_wire_format_is_the_cache_identity(self):
+        plan = RepresentativeSampling()
+        assert encode_sampling(plan) == plan.identity()
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SpecError, match="unknown sampling plan"):
+            decode_sampling({"plan": "clairvoyant"})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(SpecError, match="object"):
+            decode_sampling(["representative"])
+
+    def test_invalid_parameters_become_spec_errors(self):
+        with pytest.raises(SpecError, match="malformed"):
+            decode_sampling({"plan": "representative", "clusters": 0})
+        with pytest.raises(SpecError, match="malformed"):
+            decode_sampling({"plan": "interval", "fraction": 2.0})
+
+    def test_summarize_sampling_of_exact_cell_is_empty(self):
+        assert summarize_sampling(None) == {}
+
+    def test_summarize_sampling_and_sampled_report(self):
+        trace = TraceSpec.catalog("ZGREP", LENGTH).build()
+        plan = RepresentativeSampling(clusters=3, window=500, seed=0)
+        sampled = run_sampled(trace, SimulateJob(size=2048, line_size=16), plan)
+        summary = summarize_value(sampled.value)
+        assert summary["type"] == "sampled-report"
+        assert summary["miss_ratio"] == pytest.approx(sampled.value.miss_ratio)
+        block = summarize_sampling(sampled.info)["sampling"]
+        assert block["unit"] == "representative"
+        assert block["total_references"] == LENGTH
+        for estimate in block["estimates"]:
+            low, high = estimate["ci"]
+            assert low <= estimate["value"] <= high
